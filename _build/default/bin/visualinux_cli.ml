@@ -1,0 +1,305 @@
+(* The visualinux command-line front-end.
+
+   Boots the simulated kernel, runs the evaluation workload, and executes
+   v-commands — either one-shot via subcommands or interactively via a
+   GDB-style prompt.
+
+   Examples:
+     visualinux figures                 # list the Table 2 script library
+     visualinux plot 7-1                # render a figure as ASCII
+     visualinux plot 9-2 --format dot   # ... or Graphviz/SVG/JSON
+     visualinux chat 7-1 "display view \"sched\" of all processes"
+     visualinux query 3-4 'a = SELECT task_struct FROM * WHERE pid > 5
+                           UPDATE a WITH collapsed: true'
+     visualinux repl                    # interactive session
+*)
+
+open Cmdliner
+
+let boot_session seed iters =
+  let kernel = Kstate.boot () in
+  let w = Workload.create ~seed kernel in
+  Workload.run ~iters w;
+  Visualinux.attach kernel
+
+(* common options *)
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload PRNG seed.")
+
+let iters_arg =
+  Arg.(value & opt int 3 & info [ "iters" ] ~docv:"N" ~doc:"Workload iterations.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("ascii", `Ascii); ("dot", `Dot); ("svg", `Svg); ("json", `Json);
+             ("html", `Html) ])
+        `Ascii
+    & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output format: ascii, dot, svg, json or html.")
+
+let render fmt graph =
+  match fmt with
+  | `Ascii -> Render.ascii graph
+  | `Dot -> Render.dot graph
+  | `Svg -> Render.svg graph
+  | `Json -> Vgraph.to_json graph
+  | `Html -> Render_html.html graph
+
+let fig_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FIG" ~doc:"Figure id from the script library (e.g. 7-1, 9-2, socketconn).")
+
+let find_script fig =
+  match Scripts.find fig with
+  | Some sc -> Ok sc
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown figure %S; try one of: %s" fig
+             (String.concat ", " (List.map (fun s -> s.Scripts.fig) Scripts.table2))))
+
+(* ------------------------------------------------------------------ *)
+(* figures *)
+
+let figures_cmd =
+  let doc = "List the ViewCL script library (the Table 2 figures)." in
+  let run () =
+    Printf.printf "%-12s %-45s %4s %s\n" "id" "description" "LoC" "delta";
+    List.iter
+      (fun (sc : Scripts.script) ->
+        Printf.printf "%-12s %-45s %4d %s\n" sc.Scripts.fig sc.Scripts.descr (Scripts.loc sc)
+          (Scripts.delta_glyph sc.Scripts.delta))
+      Scripts.table2
+  in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* plot *)
+
+let plot_cmd =
+  let doc = "Evaluate a library ViewCL program (vplot) and render the result." in
+  let run seed iters fmt fig =
+    match find_script fig with
+    | Error e -> Error e
+    | Ok sc ->
+        let s = boot_session seed iters in
+        let _, res, stats = Visualinux.plot_figure s sc in
+        print_string (render fmt res.Viewcl.graph);
+        Printf.eprintf "[%d boxes, %d target reads, %.2f ms]\n" stats.Visualinux.boxes
+          stats.Visualinux.reads stats.Visualinux.wall_ms;
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "plot" ~doc)
+    Term.(term_result (const run $ seed_arg $ iters_arg $ format_arg $ fig_arg))
+
+(* ------------------------------------------------------------------ *)
+(* plot-file: run a user-supplied .vcl program *)
+
+let plot_file_cmd =
+  let doc = "Evaluate a ViewCL program from a file (vplot)." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"ViewCL source file.")
+  in
+  let run seed iters fmt file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let s = boot_session seed iters in
+    match Visualinux.vplot s ~title:file src with
+    | _, res, _ ->
+        print_string (render fmt res.Viewcl.graph);
+        Ok ()
+    | exception Viewcl.Error m -> Error (`Msg m)
+  in
+  Cmd.v
+    (Cmd.info "plot-file" ~doc)
+    Term.(term_result (const run $ seed_arg $ iters_arg $ format_arg $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* query: plot a figure then apply ViewQL (vctrl) *)
+
+let query_cmd =
+  let doc = "Plot a figure, then apply a ViewQL program to it (vctrl)." in
+  let ql_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"VIEWQL" ~doc:"ViewQL program.")
+  in
+  let run seed iters fmt fig ql =
+    match find_script fig with
+    | Error e -> Error e
+    | Ok sc -> (
+        let s = boot_session seed iters in
+        let pane, res, _ = Visualinux.plot_figure s sc in
+        match Visualinux.vctrl s (Visualinux.Apply { pane = pane.Panel.pid; viewql = ql }) with
+        | Visualinux.Updated n ->
+            Printf.eprintf "[%d boxes updated]\n" n;
+            print_string (render fmt res.Viewcl.graph);
+            Ok ()
+        | _ -> Error (`Msg "unexpected vctrl result")
+        | exception Viewql.Error m -> Error (`Msg m))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(term_result (const run $ seed_arg $ iters_arg $ format_arg $ fig_arg $ ql_arg))
+
+(* ------------------------------------------------------------------ *)
+(* chat: plot a figure then refine with natural language (vchat) *)
+
+let chat_cmd =
+  let doc = "Plot a figure, then refine it with a natural-language request (vchat)." in
+  let nl_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"TEXT" ~doc:"Natural-language refinement.")
+  in
+  let run seed iters fmt fig text =
+    match find_script fig with
+    | Error e -> Error e
+    | Ok sc -> (
+        let s = boot_session seed iters in
+        let pane, res, _ = Visualinux.plot_figure s sc in
+        match Visualinux.vchat s ~pane:pane.Panel.pid text with
+        | prog, n ->
+            Printf.eprintf "synthesized ViewQL:\n%s\n[%d boxes updated]\n" prog n;
+            print_string (render fmt res.Viewcl.graph);
+            Ok ()
+        | exception Vchat.Cannot_synthesize _ ->
+            Error (`Msg "could not synthesize a ViewQL program from that description"))
+  in
+  Cmd.v
+    (Cmd.info "chat" ~doc)
+    Term.(term_result (const run $ seed_arg $ iters_arg $ format_arg $ fig_arg $ nl_arg))
+
+(* ------------------------------------------------------------------ *)
+(* repl *)
+
+let repl_help =
+  {|v-commands:
+  vplot <fig>            plot a library figure into a new pane
+  vplot auto <type> <C-expr>
+                         synthesize a trivial ViewCL program for a struct
+  vctrl ql <pane> <viewql ...>    apply ViewQL to a pane
+  vctrl focus <hex-addr>          find an object in all panes
+  vctrl close <pane>              close a pane
+  vchat <pane> <text>    natural language -> ViewQL -> apply
+  show <pane> [ascii|dot|svg|json]
+  panes                  list panes
+  figures                list library figures
+  save <file> / quit|exit
+|}
+
+let repl_cmd =
+  let doc = "Interactive session (a poor man's GDB prompt with v-commands)." in
+  let run seed iters =
+    let s = boot_session seed iters in
+    Printf.printf "visualinux interactive session — %d tasks live. Type 'help'.\n"
+      (List.length (Kstate.all_tasks s.Visualinux.kernel));
+    let panes : (int, Vgraph.t) Hashtbl.t = Hashtbl.create 8 in
+    let rec loop () =
+      print_string "(visualinux) ";
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line -> (
+          let words =
+            String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+          in
+          (try
+             match words with
+             | [] -> ()
+             | [ "quit" ] | [ "exit" ] -> raise Exit
+             | [ "help" ] -> print_string repl_help
+             | [ "figures" ] ->
+                 List.iter
+                   (fun sc -> Printf.printf "  %-12s %s\n" sc.Scripts.fig sc.Scripts.descr)
+                   Scripts.table2
+             | [ "panes" ] ->
+                 List.iter
+                   (fun id ->
+                     let p = Panel.pane s.Visualinux.panel id in
+                     Printf.printf "  pane %d: %s (%d boxes)\n" id
+                       (match p.Panel.kind with
+                       | Panel.Primary _ -> "primary"
+                       | Panel.Secondary _ -> "secondary")
+                       (Vgraph.box_count p.Panel.graph))
+                   (Panel.pane_ids s.Visualinux.panel)
+             | "vplot" :: "auto" :: ty :: rest ->
+                 let expr = String.concat " " rest in
+                 let pane, res, _ = Visualinux.vplot_auto s ~typ:ty ~expr in
+                 Hashtbl.replace panes pane.Panel.pid res.Viewcl.graph;
+                 Printf.printf "pane %d: %d boxes\n" pane.Panel.pid
+                   (Vgraph.box_count res.Viewcl.graph)
+             | [ "vplot"; fig ] -> (
+                 match Scripts.find fig with
+                 | None -> Printf.printf "unknown figure %s\n" fig
+                 | Some sc ->
+                     let pane, res, stats = Visualinux.plot_figure s sc in
+                     Hashtbl.replace panes pane.Panel.pid res.Viewcl.graph;
+                     Printf.printf "pane %d: %d boxes, %d reads\n" pane.Panel.pid
+                       stats.Visualinux.boxes stats.Visualinux.reads)
+             | "vctrl" :: "ql" :: pane :: rest ->
+                 let n =
+                   Panel.refine s.Visualinux.panel ~at:(int_of_string pane)
+                     (String.concat " " rest)
+                 in
+                 Printf.printf "%d boxes updated\n" n
+             | [ "vctrl"; "focus"; addr ] ->
+                 let hits = Panel.focus s.Visualinux.panel ~addr:(int_of_string addr) in
+                 List.iter
+                   (fun (pid, bid) -> Printf.printf "  pane %d: box #%d\n" pid bid)
+                   hits;
+                 if hits = [] then print_endline "  (not found)"
+             | [ "vctrl"; "close"; pane ] ->
+                 Panel.close s.Visualinux.panel (int_of_string pane);
+                 print_endline "closed"
+             | "vchat" :: pane :: rest ->
+                 let prog, n =
+                   Visualinux.vchat s ~pane:(int_of_string pane) (String.concat " " rest)
+                 in
+                 Printf.printf "%s\n%d boxes updated\n" prog n
+             | [ "show"; pane ] | [ "show"; pane; "ascii" ] ->
+                 let p = Panel.pane s.Visualinux.panel (int_of_string pane) in
+                 let roots =
+                   match p.Panel.kind with
+                   | Panel.Secondary { picked; _ } -> Some picked
+                   | Panel.Primary _ -> None
+                 in
+                 print_string (Render.ascii ?roots p.Panel.graph)
+             | [ "show"; pane; "dot" ] ->
+                 print_string (Render.dot (Panel.pane s.Visualinux.panel (int_of_string pane)).Panel.graph)
+             | [ "show"; pane; "svg" ] ->
+                 print_string (Render.svg (Panel.pane s.Visualinux.panel (int_of_string pane)).Panel.graph)
+             | [ "show"; pane; "json" ] ->
+                 print_string (Vgraph.to_json (Panel.pane s.Visualinux.panel (int_of_string pane)).Panel.graph)
+             | [ "save"; file ] ->
+                 let oc = open_out file in
+                 output_string oc (Panel.to_json s.Visualinux.panel);
+                 close_out oc;
+                 Printf.printf "session saved to %s\n" file
+             | w :: _ -> Printf.printf "unknown command %S (try 'help')\n" w
+           with
+          | Exit -> raise Exit
+          | Viewcl.Error m | Viewql.Error m -> Printf.printf "error: %s\n" m
+          | Vchat.Cannot_synthesize _ -> print_endline "error: cannot synthesize ViewQL"
+          | Failure m -> Printf.printf "error: %s\n" m
+          | Invalid_argument m -> Printf.printf "error: %s\n" m
+          | Not_found -> print_endline "error: not found");
+          loop ())
+    in
+    (try loop () with Exit -> ());
+    print_endline "bye."
+  in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ seed_arg $ iters_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "Visualinux-style visual debugging of a simulated Linux kernel" in
+  let info = Cmd.info "visualinux" ~version:"1.0.0" ~doc in
+  Cmd.group info [ figures_cmd; plot_cmd; plot_file_cmd; query_cmd; chat_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cve_dirtypipe.ml: Kbuddy Kcontext Kmem Kpagecache Kpipe Kstate Ksyscall Ktypes List Option Panel Printf Render Scripts Vgraph Viewcl Visualinux Workload

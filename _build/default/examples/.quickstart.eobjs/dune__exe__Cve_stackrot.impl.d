@@ -1,0 +1,1 @@
+examples/cve_stackrot.ml: Format Kcontext Kmaple Kmem Kmm Krcu Kstate Ksyscall Ktypes List Option Panel Printf Render Scripts Viewcl Visualinux Workload

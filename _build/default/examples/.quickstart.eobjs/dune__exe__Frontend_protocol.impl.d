@@ -1,0 +1,1 @@
+examples/frontend_protocol.ml: Json Kstate List Option Printf Protocol Scripts String Visualinux Workload

@@ -1,0 +1,1 @@
+examples/maple_tree_tour.ml: Kcontext Kmaple Kmm Kstate Ksyscall List Option Panel Printf Render Scripts String Viewcl Visualinux Workload

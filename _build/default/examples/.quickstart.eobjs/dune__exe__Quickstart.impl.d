@@ -1,0 +1,1 @@
+examples/quickstart.ml: Kcontext Kmem Kstate List Option Panel Printf Render Scripts String Viewcl Visualinux Workload

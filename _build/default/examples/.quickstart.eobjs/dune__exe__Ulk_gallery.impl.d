@@ -1,0 +1,1 @@
+examples/ulk_gallery.ml: Array Kstate List Option Printf Render Scripts String Sys Viewcl Visualinux Workload

@@ -1,0 +1,1 @@
+examples/ulk_gallery.mli:

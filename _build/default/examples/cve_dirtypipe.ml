@@ -1,0 +1,94 @@
+(* Paper §5.3: CVE-2022-0847 (Dirty Pipe).
+
+   splice() attaches a page-cache page to a pipe buffer without copying,
+   but copy_page_to_iter_pipe() forgets to initialize the buffer's flags.
+   A stale PIPE_BUF_FLAG_CAN_MERGE then lets an ordinary pipe write merge
+   into — i.e. overwrite — the shared page cache page, corrupting the file.
+
+   This example reproduces the exploit on the simulated kernel and then
+   reproduces the paper's Figure 7: plot the page caches of all files and
+   pipes of the victim task, and use ViewQL to trim every page except the
+   ones shared between a file and a pipe.
+
+   Run with: dune exec examples/cve_dirtypipe.exe *)
+
+let () =
+  let kernel = Kstate.boot () in
+  let workload = Workload.create kernel in
+  Workload.run workload;
+  let s = Visualinux.attach kernel in
+  let ctx = kernel.Kstate.ctx in
+  let task = Option.get (Kstate.find_task kernel s.Visualinux.target_pid) in
+
+  print_endline "== CVE-2022-0847 (Dirty Pipe) ==\n";
+
+  (* The victim file, read-only for the attacker. *)
+  let _, file = Ksyscall.openat kernel task ~name:"test.txt" ~size:4096 in
+  let mapping = Kcontext.r64 ctx file "file" "f_mapping" in
+  let page = Kpagecache.lookup ctx mapping 0 in
+  let pa = Kbuddy.page_address kernel.Kstate.buddy page in
+  Printf.printf "victim file test.txt, cached page content: %S\n\n"
+    (Kmem.read_cstring ctx.Kcontext.mem pa);
+
+  (* Step 1: fill and drain the pipe ring so every slot keeps a stale
+     CAN_MERGE flag from ordinary writes. *)
+  let pipe, _, _ = Ksyscall.pipe kernel task in
+  for i = 1 to 16 do
+    Ksyscall.write_pipe kernel pipe (Printf.sprintf "fill%d" i);
+    ignore (Kpipe.read ctx pipe)
+  done;
+  print_endline "step 1: pipe ring filled and drained (flags left dirty in all 16 slots)";
+
+  (* Step 2: splice the file into the pipe — zero-copy, flags NOT
+     initialized (the bug). *)
+  let buf = Ksyscall.splice kernel ~file ~pipe ~index:0 ~len:1 ~buggy:true in
+  let flags = Kcontext.r32 ctx buf "pipe_buffer" "flags" in
+  Printf.printf "step 2: splice(file -> pipe): buffer flags = 0x%x (CAN_MERGE=%b) !\n" flags
+    (flags land Ktypes.pipe_buf_flag_can_merge <> 0);
+
+  (* Step 3: write to the pipe — the kernel merges into the page-cache
+     page because CAN_MERGE is set. *)
+  (match Kpipe.write_merge ctx pipe "PWNED" with
+  | Some (pg, off, data) ->
+      Kmem.write_bytes ctx.Kcontext.mem (Kbuddy.page_address kernel.Kstate.buddy pg + off) data;
+      Printf.printf "step 3: pipe write merged into the shared page at offset %d\n" off
+  | None -> print_endline "step 3: no merge (kernel is patched)");
+  Printf.printf "\nfile content is now corrupted: %S\n\n" (Kmem.read_cstring ctx.Kcontext.mem pa);
+
+  (* Now debug it with Visualinux: ~60 LoC of ViewCL plot files, pipes,
+     and their pages from the fd table (the paper's Figure 7 source). *)
+  let pane, res, stats = Visualinux.vplot s ~title:"Dirty Pipe" Scripts.cve_dirtypipe in
+  Printf.printf "plotted %d boxes (%d pages) from the task's fd table\n"
+    stats.Visualinux.boxes
+    (List.length (Vgraph.of_type res.Viewcl.graph "page"));
+
+  (* The paper's ViewQL: keep only pages shared between a file and a
+     pipe. Exactly one page must survive — the corrupted one. *)
+  let ql =
+    {|
+file_pgc = SELECT file->pagecache FROM *
+file_pgs = SELECT page FROM REACHABLE(file_pgc)
+pipe_buf = SELECT pipe_inode_info->bufs FROM *
+pipe_pgs = SELECT page FROM REACHABLE(pipe_buf)
+UPDATE pipe_pgs \ file_pgs WITH trimmed: true
+|}
+  in
+  let trimmed = Panel.refine s.Visualinux.panel ~at:pane.Panel.pid ql in
+  Printf.printf "ViewQL trimmed %d pipe-only pages\n\n" trimmed;
+
+  (* Verify figure 7's claim: the shared page survives and its buffer
+     shows the poisonous flag. *)
+  let survivors =
+    List.filter
+      (fun (b : Vgraph.box) -> not b.Vgraph.attrs.Vgraph.trimmed && b.Vgraph.addr = page)
+      (Vgraph.of_type res.Viewcl.graph "page")
+  in
+  Printf.printf "shared page visible in the plot: %b\n" (survivors <> []);
+  (* focus on the pipe subgraph for the final rendering *)
+  ignore
+    (Panel.refine s.Visualinux.panel ~at:pane.Panel.pid
+       {|junk = SELECT pipe_buffer FROM * WHERE flags == 0
+UPDATE junk WITH collapsed: true
+fs = SELECT file FROM *
+UPDATE fs WITH collapsed: true|});
+  print_string (Render.ascii res.Viewcl.graph)

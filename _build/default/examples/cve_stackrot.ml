@@ -1,0 +1,82 @@
+(* Paper §3.2 / §5.3: CVE-2023-3269 (StackRot).
+
+   A CPU holding mm_read_lock stores into the maple tree; the retired
+   nodes are freed *after* an RCU grace period, but a concurrent reader on
+   another CPU still holds pointers into the old tree — a use-after-free.
+
+   This example drives the full scenario on the simulated kernel and uses
+   Visualinux at each step, exactly as the paper narrates: plot the tree,
+   watch the dying nodes appear on the RCU waiting list, pin the fetched
+   node with a natural-language instruction, and catch the UAF.
+
+   Run with: dune exec examples/cve_stackrot.exe *)
+
+let () =
+  let kernel = Kstate.boot () in
+  let workload = Workload.create kernel in
+  Workload.run workload;
+  let s = Visualinux.attach kernel in
+  let ctx = kernel.Kstate.ctx in
+  let target = Option.get (Kstate.find_task kernel s.Visualinux.target_pid) in
+  let mm = Ksyscall.mm_of kernel target in
+  let mt = Kcontext.fld ctx mm "mm_struct" "mm_mt" in
+
+  print_endline "== CVE-2023-3269 (StackRot) ==\n";
+  print_endline "[CPU#1] mm_read_lock(); find_vma_prev() -> mas_walk() fetches node pointers";
+  Kmm.mmap_read_lock ctx mm ~cpu:1;
+  let fetched = Kmaple.read_nodes ctx mt in
+  let fetched_root = List.hd fetched in
+  Printf.printf "         reader holds %d maple node pointers (root: 0x%x)\n\n"
+    (List.length fetched) fetched_root;
+
+  print_endline "[CPU#0] mm_read_lock(); expand_stack() -> mas_store_prealloc()";
+  let stack = Kmaple.entries (Kmm.tree_of kernel.Kstate.mm mm) |> List.rev |> List.hd in
+  let lo, hi, stack_vma = stack in
+  (* grow the stack downwards by one page: rewrites the tree *)
+  let new_lo = lo - Ktypes.page_size in
+  Kcontext.w64 ctx stack_vma "vm_area_struct" "vm_start" new_lo;
+  Kmaple.store_range
+    ~free:(Kstate.ma_free_rcu kernel)
+    (Kmm.tree_of kernel.Kstate.mm mm)
+    ~lo:new_lo ~hi stack_vma;
+  Printf.printf "         stack grew to [0x%x, 0x%x]; old nodes queued via ma_free_rcu()\n\n"
+    new_lo hi;
+
+  (* Plot: the maple tree AND the RCU waiting list holding the dying
+     nodes (still readable — the grace period hasn't elapsed). *)
+  let pane, res, _ = Visualinux.vplot s ~title:"StackRot" Scripts.cve_stackrot in
+  Printf.printf "RCU callbacks pending: %d (all nodes still live)\n\n"
+    (List.length (Krcu.pending kernel.Kstate.rcu ()));
+
+  (* The paper's natural-language pin: collapse everything except the
+     node the reader fetched. *)
+  let nl =
+    Printf.sprintf
+      "Find me all vm_area_struct whose address is not 0x%x, and collapse them"
+      stack_vma
+  in
+  Printf.printf "vchat> %s\n" nl;
+  let ql, n = Visualinux.vchat s ~pane:pane.Panel.pid nl in
+  Printf.printf "synthesized:\n%s\n(%d boxes collapsed)\n\n" ql n;
+  print_string (Render.ascii res.Viewcl.graph);
+
+  print_endline "\n[CPU#0] mm_read_unlock(); ... RCU grace period elapses ...";
+  print_endline "         rcu_do_batch() -> mt_free_rcu() -> kmem_cache_free()";
+  Krcu.run_grace_period kernel.Kstate.rcu;
+  Kmem.clear_faults ctx.Kcontext.mem;
+
+  print_endline "\n[CPU#1] mas_prev() dereferences the stale node:";
+  ignore (Kcontext.r64 ctx fetched_root "maple_node" "parent");
+  List.iter
+    (fun f -> Format.printf "         !!! %a@." Kmem.pp_fault f)
+    (Kmem.faults ctx.Kcontext.mem);
+  Kmm.mmap_read_unlock ctx mm;
+
+  (* Re-plot: the RCU list has drained and the old nodes now read as
+     dead — this is the "corrupted state" view the paper shows. *)
+  print_endline "\n--- after the grace period: stale nodes are poisoned ---\n";
+  let _, res2, _ = Visualinux.vplot s ~title:"StackRot (after GP)" Scripts.cve_stackrot in
+  ignore res2;
+  Printf.printf "reader-held node live? %b  (use-after-free confirmed: %b)\n"
+    (Kmem.is_live ctx.Kcontext.mem fetched_root)
+    (Kmem.faults ctx.Kcontext.mem <> [])

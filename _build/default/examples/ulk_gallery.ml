@@ -1,0 +1,35 @@
+(* Paper §5.1: "reviving" Understanding the Linux Kernel.
+
+   Renders every Table 2 figure from the live simulated kernel state.
+   Pass a figure id (e.g. "7-1") to render just that one, or "--dot" to
+   also write Graphviz files.
+
+   Run with: dune exec examples/ulk_gallery.exe [-- <fig>] [-- --dot] *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let want_dot = List.mem "--dot" args in
+  let only = List.find_opt (fun a -> Scripts.find a <> None) (List.tl args) in
+
+  let kernel = Kstate.boot () in
+  let workload = Workload.create kernel in
+  Workload.run workload;
+  let s = Visualinux.attach kernel in
+
+  let render (sc : Scripts.script) =
+    let _, res, stats = Visualinux.plot_figure s sc in
+    Printf.printf "\n############ ULK Fig %s — %s (%d LoC, %d boxes, Δ %s) ############\n\n"
+      sc.Scripts.fig sc.Scripts.descr (Scripts.loc sc) stats.Visualinux.boxes
+      (Scripts.delta_glyph sc.Scripts.delta);
+    print_string (Render.ascii res.Viewcl.graph);
+    if want_dot then begin
+      let name = Printf.sprintf "ulk_%s.dot" (String.map (function '/' -> '_' | c -> c) sc.Scripts.fig) in
+      let oc = open_out name in
+      output_string oc (Render.dot res.Viewcl.graph);
+      close_out oc;
+      Printf.printf "(wrote %s)\n" name
+    end
+  in
+  match only with
+  | Some fig -> render (Option.get (Scripts.find fig))
+  | None -> List.iter render Scripts.table2

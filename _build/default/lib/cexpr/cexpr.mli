@@ -1,0 +1,61 @@
+(** C expressions over a {!Target}.
+
+    ViewCL's [${...}] escapes embed arbitrary C expressions that GDB would
+    evaluate against the inferior; this module provides the equivalent:
+    a lexer, parser, and evaluator for a rich C expression subset —
+    arithmetic, bit and logical operators, comparisons, shifts, ternary,
+    casts, [sizeof], address-of / dereference, member access ([.]/[->]),
+    array subscripts, and calls to registered helper functions.
+
+    Identifiers of the form [@name] are ViewCL-scope references; they are
+    resolved through the caller-supplied environment before symbols. *)
+
+(** Abstract syntax. *)
+type unop = Neg | Not | Bnot | Deref | Addr
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | Land | Lor
+
+type expr =
+  | Int_lit of int
+  | Str_lit of string
+  | Char_lit of char
+  | Ident of string  (** includes [@name] ViewCL references *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Cast of Ctype.t * expr
+  | Sizeof_type of Ctype.t
+  | Sizeof_expr of expr
+  | Call of string * expr list
+  | Member of expr * string  (** [e.f] *)
+  | Arrow of expr * string  (** [e->f] *)
+  | Index of expr * expr
+
+exception Parse_error of string
+exception Eval_error of string
+
+val parse : Ctype.registry -> string -> expr
+(** Parse an expression. The registry is consulted to recognize type names
+    in casts and [sizeof]. @raise Parse_error on malformed input. *)
+
+type env = string -> Target.value option
+(** Resolution for [@name] references and local bindings; consulted before
+    target symbols. *)
+
+val empty_env : env
+
+val eval : ?env:env -> Target.t -> expr -> Target.value
+(** Evaluate. Pointer arithmetic is scaled by pointee size, comparisons
+    yield 0/1, [&&]/[||] short-circuit. @raise Eval_error on failure. *)
+
+val eval_string : ?env:env -> Target.t -> string -> Target.value
+(** [parse] + [eval]. *)
+
+val pp : Format.formatter -> expr -> unit
+(** Print an expression as (parenthesized) C. *)
+
+val to_string : expr -> string

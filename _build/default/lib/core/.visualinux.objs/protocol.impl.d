@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Json List Panel Vchat Vgraph Viewcl Viewql Visualinux

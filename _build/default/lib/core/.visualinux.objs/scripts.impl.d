@@ -1,0 +1,1 @@
+lib/core/scripts.ml: List Viewcl

@@ -1,0 +1,1 @@
+lib/core/visualinux.ml: Buffer Ctype Kcontext Khelpers Kstate Ktask Ktypes Kvfs List Objectives Panel Printf Scripts Target Unix Vchat Vgraph Viewcl

@@ -1,0 +1,62 @@
+(** The ten debugging objectives of Table 3 (§5.2): natural-language
+    descriptions fed to *vchat*, each tied to the figure whose plot it
+    refines and to a check that the synthesized ViewQL had the intended
+    effect. *)
+
+type expect = {
+  exp_attr : string;  (** attribute the program must set *)
+  exp_type : string;  (** on boxes of this type *)
+  exp_min : int;  (** at least this many boxes affected *)
+}
+
+type objective = {
+  fig : string;  (** Table 2 figure the objective applies to *)
+  text : string;  (** the natural-language description *)
+  expects : expect list;
+}
+
+let all : objective list =
+  [ { fig = "3-4";
+      text =
+        "Display view \"show_children\" of all tasks, and shrink tasks that have no \
+         address space";
+      expects =
+        [ { exp_attr = "view"; exp_type = "task_struct"; exp_min = 5 };
+          { exp_attr = "collapsed"; exp_type = "task_struct"; exp_min = 5 } ] };
+    { fig = "3-6";
+      text = "Shrink all pid hash table entries whose nr != 2";
+      expects = [ { exp_attr = "collapsed"; exp_type = "upid"; exp_min = 5 } ] };
+    { fig = "4-5";
+      text = "Shrink irq descriptors whose action is not configured";
+      expects = [ { exp_attr = "collapsed"; exp_type = "irq_desc"; exp_min = 4 } ] };
+    { fig = "7-1";
+      text = "Display view \"sched\" of all processes, and display the red-black tree top-down";
+      expects =
+        [ { exp_attr = "view"; exp_type = "task_struct"; exp_min = 3 };
+          { exp_attr = "direction"; exp_type = "RBTree"; exp_min = 1 } ] };
+    { fig = "9-2";
+      text =
+        "Display view \"show_mt\" of mm_struct, collapse the slots of all maple_nodes, and \
+         shrink all writable vm_area_structs";
+      expects =
+        [ { exp_attr = "view"; exp_type = "mm_struct"; exp_min = 1 };
+          { exp_attr = "collapsed"; exp_type = "vm_area_struct"; exp_min = 3 } ] };
+    { fig = "11-1";
+      text = "Shrink all sigactions whose handler is not configured";
+      expects = [ { exp_attr = "collapsed"; exp_type = "k_sigaction"; exp_min = 30 } ] };
+    { fig = "14-3";
+      text =
+        "Display the superblock list vertically, and collapse superblocks that are not \
+         connected to any block device";
+      expects =
+        [ { exp_attr = "direction"; exp_type = "List"; exp_min = 1 };
+          { exp_attr = "collapsed"; exp_type = "super_block"; exp_min = 1 } ] };
+    { fig = "15-1";
+      text = "Shrink the slots of all xa_nodes in the extremely large page list";
+      expects = [ { exp_attr = "collapsed"; exp_type = "Array"; exp_min = 1 } ] };
+    { fig = "16-2";
+      text = "Shrink all files whose nrpages == 0";
+      expects = [ { exp_attr = "collapsed"; exp_type = "file"; exp_min = 0 } ] };
+    { fig = "socketconn";
+      text = "Shrink sockets whose write buffer and receive buffer are both empty";
+      expects = [ { exp_attr = "collapsed"; exp_type = "sock"; exp_min = 1 } ] } ]

@@ -1,0 +1,854 @@
+(** The ViewCL script library: one self-contained program per figure of
+    Table 2 (the ULK "revival" experiment, §5.1) plus the two CVE case
+    studies (§5.3). As in the paper, code shared between plots is counted
+    repeatedly — each program carries its own Box definitions.
+
+    Scripts may reference the integer macro [target_pid], set by the
+    session to the pid under inspection. *)
+
+(** How much the underlying kernel structure changed between Linux 2.6.11
+    (the ULK edition) and 6.1 — the Δ column of Table 2. *)
+type delta =
+  | Negligible  (** ○ *)
+  | Variables  (** ◔ some variables or fields changed *)
+  | Relations  (** ◑ fields, data structures or object relations changed *)
+  | Significant  (** ● underlying data structure replaced *)
+
+let delta_glyph = function
+  | Negligible -> "o"
+  | Variables -> "*"
+  | Relations -> "**"
+  | Significant -> "***"
+
+type script = {
+  id : int;
+  fig : string;  (** ULK figure number, or a name for the added figures *)
+  descr : string;
+  delta : delta;
+  source : string;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let fig_3_4_process_tree =
+  {|// ULK Fig 3-4: the process parenthood tree
+define PTask as Box<task_struct> {
+  :default [
+    Text pid, comm
+    Text<raw_ptr> mm
+    Container children: @kids
+  ]
+  :default => :show_children [
+    Text<string> state: ${task_state(@this)}
+  ]
+} where {
+  kids = List(${&@this->children}).forEach |node| {
+    yield PTask<task_struct.sibling>(@node)
+  }
+}
+plot PTask(${&init_task})
+|}
+
+let fig_3_6_pid_hash =
+  {|// ULK Fig 3-6: the PID hash table
+define Upid as Box<upid> [
+  Text nr
+  Text<string> comm: ${pid_task(container_of(@this, "pid", "numbers"))->comm}
+]
+hash = Array(${pid_hash}).forEach |head| {
+  bucket = HList(@head).forEach |node| {
+    yield Upid<upid.pid_chain>(@node)
+  }
+  yield @bucket
+}
+plot @hash
+|}
+
+let fig_4_5_irq =
+  {|// ULK Fig 4-5: IRQ descriptors and their action chains
+define IrqAction as Box<irqaction> [
+  Text<string> name
+  Text irq
+  Text<fptr> handler
+  Link next -> @nxt
+] where {
+  nxt = switch ${@this->next != NULL} {
+    case ${true}: IrqAction(${@this->next})
+    otherwise: NULL
+  }
+}
+define IrqDesc as Box<irq_desc> [
+  Text irq: irq_data.irq
+  Text<string> chip: ${@this->irq_data.chip != NULL ? @this->irq_data.chip->name : "none"}
+  Text<fptr> handle_irq
+  Text depth
+  Link action -> @act
+] where {
+  act = switch ${@this->action != NULL} {
+    case ${true}: IrqAction(${@this->action})
+    otherwise: NULL
+  }
+}
+descs = Array(${irq_desc}).forEach |d| {
+  yield IrqDesc(${&@d})
+}
+plot @descs
+|}
+
+let fig_6_1_timers =
+  {|// ULK Fig 6-1: dynamic timers in the per-CPU timer wheel
+define Timer as Box<timer_list> [
+  Text expires
+  Text<fptr> function
+  Text<u32:x> flags
+]
+define TimerBase as Box<timer_base> [
+  Text clk
+  Text<emoji:lock> lock: lock.locked
+  Container wheel: @buckets
+] where {
+  buckets = Array(${@this->vectors}).forEach |head| {
+    bucket = HList(${&@head}).forEach |node| {
+      yield Timer<timer_list.entry>(@node)
+    }
+    yield @bucket
+  }
+}
+plot TimerBase(${per_cpu_timer_base(0)})
+|}
+
+let fig_7_1_runqueue =
+  {|// ULK Fig 7-1 (updated): the CFS runqueue red-black tree
+define SchedTask as Box<task_struct> {
+  :default [
+    Text pid, comm
+  ]
+  :default => :sched [
+    Text prio
+    Text se.vruntime
+    Text se.on_rq
+  ]
+}
+define CfsRq as Box<cfs_rq> [
+  Text nr_running
+  Text min_vruntime
+  Container tasks_timeline: @tree
+] where {
+  tree = RBTree(${&@this->tasks_timeline}).forEach |node| {
+    yield SchedTask<task_struct.se.run_node>(@node)
+  }
+}
+define Rq as Box<rq> [
+  Text cpu, nr_running
+  Text<string> curr: ${cpu_curr(@this->cpu)->comm}
+  Text<emoji:lock> lock: __lock.locked
+  Link cfs -> @cfs
+] where {
+  cfs = CfsRq(${&@this->cfs})
+}
+plot Rq(${cpu_rq(0)})
+|}
+
+let fig_8_2_buddy =
+  {|// ULK Fig 8-2: the buddy system and its free page blocks
+define BuddyPage as Box<page> [
+  Text pfn: ${page_to_pfn(@this)}
+  Text order: private
+  Text<flag:page_flags> flags
+]
+define FreeArea as Box<free_area> [
+  Text nr_free
+  Container free_list: @pages
+] where {
+  pages = List(${&@this->free_list}).forEach |node| {
+    yield BuddyPage<page.lru>(@node)
+  }
+}
+define Zone as Box<zone> [
+  Text<string> name
+  Text spanned_pages
+  Container free_area: @areas
+] where {
+  areas = Array(${@this->free_area}).forEach |fa| {
+    yield FreeArea(${&@fa})
+  }
+}
+plot Zone(${&node_zones})
+|}
+
+let fig_8_4_slab =
+  {|// ULK Fig 8-4: kmem caches and the slab allocator
+define Slab as Box<slab> [
+  Text inuse, objects, frozen
+  Text<raw_ptr> freelist
+]
+define KmemCache as Box<kmem_cache> [
+  Text<string> name
+  Text object_size, size, align
+  Text nr_slabs: nr_slabs.counter
+  Container partial: @p
+  Container full: @f
+] where {
+  p = List(${&@this->partial}).forEach |n| { yield Slab<slab.slab_list>(@n) }
+  f = List(${&@this->full}).forEach |n| { yield Slab<slab.slab_list>(@n) }
+}
+caches = List(${&slab_caches}).forEach |n| {
+  yield KmemCache<kmem_cache.list>(@n)
+}
+plot @caches
+|}
+
+let fig_9_2_address_space =
+  {|// ULK Fig 9-2 (updated): a process address space over the maple tree
+define FileRef as Box<file> [
+  Text<string> path: ${@this->f_path.dentry->d_iname}
+]
+define VMArea as Box<vm_area_struct> [
+  Text<u64:x> vm_start, vm_end
+  Text<flag:vm_flags> vm_flags
+  Text<bool> is_writable: ${is_writable(@this)}
+  Text<string> backing: ${vma_name(@this)}
+  Link vm_file -> @f
+] where {
+  f = switch ${@this->vm_file != NULL} {
+    case ${true}: FileRef(${@this->vm_file})
+    otherwise: NULL
+  }
+}
+define MapleNode as Box<maple_node> [
+  Text<enum:maple_type> node_type: ${mte_node_type(@this)}
+  Text<bool> leaf: ${mte_is_leaf(@this)}
+  Container slots: @slots
+] where {
+  node = ${mte_to_node(@this)}
+  slots = switch ${mte_node_type(@this)} {
+    case ${maple_leaf_64}, ${maple_range_64}:
+      Array(${@node->mr64.slot}).forEach |item| {
+        yield switch ${@item != NULL} {
+          case ${true}: VMArea(@item)
+          otherwise: NULL
+        }
+      }
+    case ${maple_arange_64}:
+      Array(${@node->ma64.slot}).forEach |item| {
+        yield switch ${@item != NULL} {
+          case ${true}: MapleNode(@item)
+          otherwise: NULL
+        }
+      }
+    otherwise: NULL
+  }
+}
+define MapleTree as Box<maple_tree> [
+  Text<u32:x> ma_flags
+  Link ma_root -> @root
+] where {
+  root = switch ${xa_is_node(@this->ma_root)} {
+    case ${true}: MapleNode(${@this->ma_root})
+    case ${false}: switch ${@this->ma_root != NULL} {
+      case ${true}: VMArea(${@this->ma_root})
+      otherwise: NULL
+    }
+  }
+}
+define MMStruct as Box<mm_struct> {
+  :default [
+    Text<u64:x> mmap_base, start_code, start_stack, brk
+    Text map_count
+    Text mm_count: mm_count.counter
+    Text<emoji:lock> mmap_lock: mmap_lock.locked
+    Link mm_mt -> @mt
+  ]
+  :default => :show_mt [
+    Text<u64:x> task_size
+  ]
+  :default => :show_addrspace [
+    Container mm_as: @as_list
+  ]
+} where {
+  mt = MapleTree(${&@this->mm_mt})
+  as_list = Array.selectFrom(@mt, VMArea)
+}
+define Task9 as Box<task_struct> [
+  Text pid, comm
+  Link mm -> @m
+] where {
+  m = MMStruct(${@this->mm})
+}
+plot Task9(${task_of_pid(target_pid)})
+|}
+
+let fig_11_1_signals =
+  {|// ULK Fig 11-1: data structures for signal handling
+define SigAction as Box<k_sigaction> [
+  Text<fptr> handler: sa.sa_handler
+  Text<u64:x> flags: sa.sa_flags
+  Text<u64:x> mask: sa.sa_mask.sig
+]
+define SigQueue as Box<sigqueue> [
+  Text si_signo, si_pid, si_code
+]
+define SigPendingBox as Box<sigpending> [
+  Text<u64:x> signal: signal.sig
+  Container queue: @q
+] where {
+  q = List(${&@this->list}).forEach |n| { yield SigQueue<sigqueue.list>(@n) }
+}
+define SigHand as Box<sighand_struct> [
+  Text count: count.refs.counter
+  Container action: @acts
+] where {
+  acts = Array(${@this->action}).forEach |a| { yield SigAction(${&@a}) }
+}
+define SignalStruct as Box<signal_struct> [
+  Text nr_threads
+  Text live: live.counter
+  Container shared_pending: @sp
+] where {
+  sp = SigPendingBox(${&@this->shared_pending})
+}
+define Task11 as Box<task_struct> [
+  Text pid, comm
+  Text<u64:x> blocked: blocked.sig
+  Link signal -> @sg
+  Link sighand -> @sh
+  Container pending: @pd
+] where {
+  sg = SignalStruct(${@this->signal})
+  sh = SigHand(${@this->sighand})
+  pd = SigPendingBox(${&@this->pending})
+}
+plot Task11(${task_of_pid(target_pid)})
+|}
+
+let fig_12_3_fd_array =
+  {|// ULK Fig 12-3: the fd array of a process
+define File12 as Box<file> [
+  Text<string> path: ${@this->f_path.dentry->d_iname}
+  Text f_count: f_count.counter
+  Text<u32:x> f_flags
+]
+define FdTable as Box<fdtable> [
+  Text max_fds
+  Container fd: @files
+] where {
+  files = Array(${@this->fd}, ${8}).forEach |f| {
+    yield switch ${@f != NULL} {
+      case ${true}: File12(@f)
+      otherwise: NULL
+    }
+  }
+}
+define FilesStruct as Box<files_struct> [
+  Text count: count.counter
+  Text next_fd
+  Link fdt -> @t
+] where {
+  t = FdTable(${@this->fdt})
+}
+plot FilesStruct(${task_of_pid(target_pid)->files})
+|}
+
+let fig_13_3_kobject =
+  {|// ULK Fig 13-3: device drivers and the kobject hierarchy
+define KObject as Box<kobject> [
+  Text<string> name
+  Text refcount: kref.refcount.refs.counter
+  Link parent -> @p
+] where {
+  p = switch ${@this->parent != NULL} {
+    case ${true}: KObject(${@this->parent})
+    otherwise: NULL
+  }
+}
+define KSet as Box<kset> [
+  Container members: @m
+] where {
+  m = List(${&@this->list}).forEach |n| {
+    yield KObject<kobject.entry>(@n)
+  }
+}
+plot KSet(${&devices_kset})
+|}
+
+let fig_14_3_block =
+  {|// ULK Fig 14-3: block device descriptors behind the superblock list
+define Gendisk as Box<gendisk> [
+  Text<string> disk_name
+  Text major, first_minor, minors
+]
+define BlockDevice as Box<block_device> [
+  Text<u32:x> bd_dev
+  Link bd_disk -> @d
+] where {
+  d = switch ${@this->bd_disk != NULL} {
+    case ${true}: Gendisk(${@this->bd_disk})
+    otherwise: NULL
+  }
+}
+define SuperBlock as Box<super_block> [
+  Text<string> s_id
+  Text s_blocksize
+  Text<string> fstype: ${@this->s_type->name}
+  Link s_bdev -> @b
+] where {
+  b = switch ${@this->s_bdev != NULL} {
+    case ${true}: BlockDevice(${@this->s_bdev})
+    otherwise: NULL
+  }
+}
+sbs = List(${&super_blocks}).forEach |n| {
+  yield SuperBlock<super_block.s_list>(@n)
+}
+plot @sbs
+|}
+
+let fig_15_1_page_cache =
+  {|// ULK Fig 15-1 (updated): the XArray managing the page cache
+define PageBox as Box<page> [
+  Text index
+  Text<flag:page_flags> flags
+  Text refcount: _refcount.counter
+  Text<string> content: ${page_content(@this)}
+]
+define XaNode as Box<xa_node> [
+  Text shift, count
+  Container slots: @s
+] where {
+  s = Array(${@this->slots}).forEach |e| {
+    yield switch ${@e != NULL} {
+      case ${true}: switch ${xa_is_node(@e)} {
+        case ${true}: XaNode(${xa_to_node(@e)})
+        case ${false}: PageBox(@e)
+      }
+      otherwise: NULL
+    }
+  }
+}
+define AddressSpace as Box<address_space> [
+  Text nrpages
+  Link xa_head -> @root
+] where {
+  head = ${@this->i_pages.xa_head}
+  root = switch ${xa_is_node(@head)} {
+    case ${true}: XaNode(${xa_to_node(@head)})
+    case ${false}: switch ${@head != NULL} {
+      case ${true}: PageBox(@head)
+      otherwise: NULL
+    }
+  }
+}
+define File15 as Box<file> [
+  Text<string> path: ${@this->f_path.dentry->d_iname}
+  Link f_mapping -> @m
+] where {
+  m = AddressSpace(${@this->f_mapping})
+}
+plot File15(${data_file(task_of_pid(target_pid))})
+|}
+
+let fig_16_2_file_mapping =
+  {|// ULK Fig 16-2: memory-mapped files, from VMA to page cache
+define Page16 as Box<page> [
+  Text index
+  Text<flag:page_flags> flags
+]
+define AddressSpace16 as Box<address_space> [
+  Text nrpages
+  Container pages: @pgs
+] where {
+  pgs = XArray(${&@this->i_pages}).forEach |e| {
+    yield Page16(@e)
+  }
+}
+define File16 as Box<file> [
+  Text<string> path: ${@this->f_path.dentry->d_iname}
+  Text nrpages: f_mapping.nrpages
+  Link f_mapping -> @m
+] where {
+  m = AddressSpace16(${@this->f_mapping})
+}
+define VMA16 as Box<vm_area_struct> [
+  Text<u64:x> vm_start, vm_end
+  Text vm_pgoff
+  Link vm_file -> @f
+] where {
+  f = switch ${@this->vm_file != NULL} {
+    case ${true}: File16(${@this->vm_file})
+    otherwise: NULL
+  }
+}
+vmas = MapleEntries(${&task_of_pid(target_pid)->mm->mm_mt}).forEach |e| {
+  yield VMA16(@e)
+}
+plot @vmas
+|}
+
+let fig_17_1_anon_rmap =
+  {|// ULK Fig 17-1 (updated): the reverse map of anonymous memory
+define VMA17 as Box<vm_area_struct> [
+  Text<u64:x> vm_start, vm_end
+  Text<string> backing: ${vma_name(@this)}
+]
+define AnonVmaChain as Box<anon_vma_chain> [
+  Link vma -> @v
+] where {
+  v = VMA17(${@this->vma})
+}
+define AnonVma as Box<anon_vma> [
+  Text refcount: refcount.counter
+  Text num_active_vmas
+  Container rb_root: @chains
+] where {
+  chains = RBTree(${&@this->rb_root}).forEach |node| {
+    yield AnonVmaChain<anon_vma_chain.rb>(@node)
+  }
+}
+avs = MapleEntries(${&task_of_pid(target_pid)->mm->mm_mt}).forEach |e| {
+  yield switch ${((vm_area_struct *)@e)->anon_vma != NULL} {
+    case ${true}: AnonVma(${((vm_area_struct *)@e)->anon_vma})
+    otherwise: NULL
+  }
+}
+plot @avs
+|}
+
+let fig_17_6_swap =
+  {|// ULK Fig 17-6: swap area descriptors
+define SwapInfo as Box<swap_info_struct> [
+  Text type, prio
+  Text pages, max, inuse_pages
+  Text<u64:x> flags
+  Text<string> backing: ${@this->swap_file != NULL ? @this->swap_file->f_path.dentry->d_iname : "none"}
+]
+areas = Array(${swap_info}).forEach |si| {
+  yield switch ${@si != NULL} {
+    case ${true}: SwapInfo(@si)
+    otherwise: NULL
+  }
+}
+plot @areas
+|}
+
+let fig_19_ipc =
+  {|// ULK Fig 19-1/19-2 (merged): System V IPC semaphores and queues
+define Sem as Box<sem> [
+  Text semval, sempid
+]
+define SemArray as Box<sem_array> [
+  Text id: sem_perm.id
+  Text<u32:x> key: sem_perm.key
+  Text sem_nsems
+  Container sems: @ss
+] where {
+  n = ${@this->sem_nsems}
+  ss = Array(${@this->sems}, @n).forEach |s| { yield Sem(${&@s}) }
+}
+define MsgMsg as Box<msg_msg> [
+  Text m_type, m_ts
+]
+define MsgQueue as Box<msg_queue> [
+  Text id: q_perm.id
+  Text<u32:x> key: q_perm.key
+  Text q_qnum, q_cbytes, q_qbytes
+  Container q_messages: @ms
+] where {
+  ms = List(${&@this->q_messages}).forEach |n| {
+    yield MsgMsg<msg_msg.m_list>(@n)
+  }
+}
+sems = XArray(${&ipc_namespace.ids[0].ipcs_idr.idr_rt}).forEach |e| {
+  yield SemArray(@e)
+}
+msgs = XArray(${&ipc_namespace.ids[1].ipcs_idr.idr_rt}).forEach |e| {
+  yield MsgQueue(@e)
+}
+ipc = Range(${0}, ${2}).forEach |i| {
+  yield switch @i { case ${0}: @sems otherwise: @msgs }
+}
+plot @ipc
+|}
+
+let fig_workqueue =
+  {|// Added figure (paper Fig 6): the heterogeneous work list of mm_percpu_wq
+define VmstatWork as Box<vmstat_work_s> [
+  Text cpu, interval
+  Text<fptr> func: work.work.func
+]
+define LruDrainWork as Box<lru_drain_work_s> [
+  Text cpu
+  Text<fptr> func: work.func
+]
+define CompactWork as Box<mm_compact_work_s> [
+  Text order
+  Text<fptr> func: work.func
+  Text<string> zone: ${@this->zone->name}
+]
+define WorkerPool as Box<worker_pool> [
+  Text cpu, id, nr_workers
+  Container worklist: @items
+] where {
+  items = List(${&@this->worklist}).forEach |n| {
+    work = ${container_of(@n, "work_struct", "entry")}
+    yield switch ${func_name(@work->func)} {
+      case ${"vmstat_update"}: VmstatWork<vmstat_work_s.work.work.entry>(@n)
+      case ${"lru_add_drain_per_cpu"}: LruDrainWork<lru_drain_work_s.work.entry>(@n)
+      otherwise: CompactWork<mm_compact_work_s.work.entry>(@n)
+    }
+  }
+}
+plot WorkerPool(${per_cpu_worker_pool(0)})
+|}
+
+let fig_proc2vfs =
+  {|// Added figure: from a process to the VFS
+define Inode20 as Box<inode> [
+  Text i_ino, i_size
+  Text<string> sb: ${@this->i_sb != NULL ? @this->i_sb->s_id : "anon"}
+]
+define Dentry20 as Box<dentry> [
+  Text<string> name: ${@this->d_iname}
+  Link d_inode -> @i
+] where {
+  i = switch ${@this->d_inode != NULL} {
+    case ${true}: Inode20(${@this->d_inode})
+    otherwise: NULL
+  }
+}
+define File20 as Box<file> [
+  Text f_count: f_count.counter
+  Link dentry -> @d
+] where {
+  d = Dentry20(${@this->f_path.dentry})
+}
+define Task20 as Box<task_struct> [
+  Text pid, comm
+  Container open_files: @ofs
+] where {
+  ofs = Array(${@this->files->fdt->fd}, ${8}).forEach |f| {
+    yield switch ${@f != NULL} {
+      case ${true}: File20(@f)
+      otherwise: NULL
+    }
+  }
+}
+plot Task20(${task_of_pid(target_pid)})
+|}
+
+let fig_socket =
+  {|// Added figure: a live socket connection from the fd table
+define SkBuff as Box<sk_buff> [
+  Text len, data_len
+]
+define Sock as Box<sock> [
+  Text<u16:d> lport: skc_num
+  Text<u16:d> rport: skc_dport
+  Text<u32:x> daddr: skc_daddr
+  Text skc_state
+  Text rqlen: sk_receive_queue.qlen
+  Text wqlen: sk_write_queue.qlen
+  Container receive_queue: @rq
+  Container write_queue: @wq
+] where {
+  rq = List(${&@this->sk_receive_queue}).forEach |n| { yield SkBuff<sk_buff.next>(@n) }
+  wq = List(${&@this->sk_write_queue}).forEach |n| { yield SkBuff<sk_buff.next>(@n) }
+}
+define SocketBox as Box<socket> [
+  Text<enum:socket_state> state
+  Text type
+  Link sk -> @s
+] where {
+  s = Sock(${@this->sk})
+}
+define TaskSock as Box<task_struct> [
+  Text pid, comm
+  Container sockets: @socks
+] where {
+  socks = Array(${@this->files->fdt->fd}, ${8}).forEach |f| {
+    yield switch ${@f != NULL} {
+      case ${true}: switch ${func_name(@f->f_op)} {
+        case ${"socket_file_ops"}: SocketBox(${sock_of_file(@f)})
+        otherwise: NULL
+      }
+      otherwise: NULL
+    }
+  }
+}
+plot TaskSock(${task_of_pid(target_pid)})
+|}
+
+(* ------------------------------------------------------------------ *)
+(* CVE case studies *)
+
+let cve_stackrot =
+  {|// CVE-2023-3269 (StackRot): maple tree + the RCU waiting list
+define VMAsr as Box<vm_area_struct> [
+  Text<u64:x> vm_start, vm_end
+  Text<bool> is_writable: ${is_writable(@this)}
+]
+define MapleNodeSR as Box<maple_node> [
+  Text<enum:maple_type> node_type: ${mte_node_type(@this)}
+  Text<bool> dead: ${ma_is_dead(mte_to_node(@this))}
+  Container slots: @slots
+] where {
+  node = ${mte_to_node(@this)}
+  slots = switch ${mte_node_type(@this)} {
+    case ${maple_leaf_64}, ${maple_range_64}:
+      Array(${@node->mr64.slot}).forEach |item| {
+        yield switch ${@item != NULL} {
+          case ${true}: VMAsr(@item)
+          otherwise: NULL
+        }
+      }
+    otherwise:
+      Array(${@node->ma64.slot}).forEach |item| {
+        yield switch ${@item != NULL} {
+          case ${true}: MapleNodeSR(@item)
+          otherwise: NULL
+        }
+      }
+  }
+}
+define MapleTreeSR as Box<maple_tree> [
+  Link ma_root -> @root
+] where {
+  root = switch ${xa_is_node(@this->ma_root)} {
+    case ${true}: MapleNodeSR(${@this->ma_root})
+    otherwise: NULL
+  }
+}
+define RcuHead as Box<callback_head> [
+  Text<fptr> func
+  Text<bool> node_dead: ${ma_is_dead(@this)}
+  Link next -> @n
+] where {
+  n = switch ${@this->next != NULL} {
+    case ${true}: RcuHead(${@this->next})
+    otherwise: NULL
+  }
+}
+define RcuData as Box<rcu_data> [
+  Text cpu, gp_seq
+  Link cblist -> @h
+] where {
+  h = switch ${@this->cblist != NULL} {
+    case ${true}: RcuHead(${@this->cblist})
+    otherwise: NULL
+  }
+}
+plot MapleTreeSR(${&task_of_pid(target_pid)->mm->mm_mt})
+plot RcuData(${per_cpu_rcu_data(0)})
+|}
+
+let cve_dirtypipe =
+  {|// CVE-2022-0847 (Dirty Pipe): page caches of files and pipes
+define PageDP as Box<page> [
+  Text index
+  Text refcount: _refcount.counter
+  Text<flag:page_flags> flags
+  Text<string> content: ${page_content(@this)}
+]
+define PipeBuffer as Box<pipe_buffer> [
+  Text offset, len
+  Text<flag:pipe_buf_flags> flags
+  Text<fptr> ops
+  Link page -> @p
+] where {
+  p = switch ${@this->page != NULL} {
+    case ${true}: PageDP(${@this->page})
+    otherwise: NULL
+  }
+}
+define PipeInfo as Box<pipe_inode_info> [
+  Text head, tail, ring_size
+  Container bufs: @bs
+] where {
+  n = ${@this->ring_size}
+  bufs0 = ${@this->bufs}
+  bs = Range(${0}, @n).forEach |i| {
+    yield PipeBuffer(${&@bufs0[@i]})
+  }
+}
+define ASpace as Box<address_space> [
+  Text nrpages
+  Container pages: @pgs
+] where {
+  pgs = XArray(${&@this->i_pages}).forEach |e| { yield PageDP(@e) }
+}
+define FileDP as Box<file> [
+  Text<string> path: ${@this->f_path.dentry->d_iname}
+  Link pagecache -> @m
+] where {
+  m = switch ${func_name(@this->f_op) == "pipefifo_fops"} {
+    case ${true}: NULL
+    otherwise: ASpace(${@this->f_mapping})
+  }
+}
+define TaskDP as Box<task_struct> [
+  Text pid, comm
+  Container files: @fs
+  Container pipes: @ps
+] where {
+  fs = Array(${@this->files->fdt->fd}, ${16}).forEach |f| {
+    yield switch ${@f != NULL} {
+      case ${true}: FileDP(@f)
+      otherwise: NULL
+    }
+  }
+  ps = Array(${@this->files->fdt->fd}, ${16}).forEach |f| {
+    yield switch ${@f != NULL} {
+      case ${true}: switch ${i_pipe_of(@f) != NULL} {
+        case ${true}: PipeInfo(${i_pipe_of(@f)})
+        otherwise: NULL
+      }
+      otherwise: NULL
+    }
+  }
+}
+plot TaskDP(${task_of_pid(target_pid)})
+|}
+
+(* ------------------------------------------------------------------ *)
+
+let table2 : script list =
+  [ { id = 1; fig = "3-4"; descr = "process parenthood tree"; delta = Negligible;
+      source = fig_3_4_process_tree };
+    { id = 2; fig = "3-6"; descr = "PID hash tables"; delta = Variables; source = fig_3_6_pid_hash };
+    { id = 3; fig = "4-5"; descr = "IRQ descriptors"; delta = Relations; source = fig_4_5_irq };
+    { id = 4; fig = "6-1"; descr = "dynamic timers"; delta = Relations; source = fig_6_1_timers };
+    { id = 5; fig = "7-1"; descr = "runqueue of CFS scheduler"; delta = Significant;
+      source = fig_7_1_runqueue };
+    { id = 6; fig = "8-2"; descr = "buddy system and pages"; delta = Variables;
+      source = fig_8_2_buddy };
+    { id = 7; fig = "8-4"; descr = "kmem cache and slab allocator"; delta = Significant;
+      source = fig_8_4_slab };
+    { id = 8; fig = "9-2"; descr = "process address space"; delta = Significant;
+      source = fig_9_2_address_space };
+    { id = 9; fig = "11-1"; descr = "components for signal handling"; delta = Negligible;
+      source = fig_11_1_signals };
+    { id = 10; fig = "12-3"; descr = "the fd array"; delta = Relations;
+      source = fig_12_3_fd_array };
+    { id = 11; fig = "13-3"; descr = "device driver and kobject"; delta = Variables;
+      source = fig_13_3_kobject };
+    { id = 12; fig = "14-3"; descr = "block device descriptors"; delta = Variables;
+      source = fig_14_3_block };
+    { id = 13; fig = "15-1"; descr = "the radix tree managing page cache"; delta = Significant;
+      source = fig_15_1_page_cache };
+    { id = 14; fig = "16-2"; descr = "file memory mapping"; delta = Variables;
+      source = fig_16_2_file_mapping };
+    { id = 15; fig = "17-1"; descr = "reverse map of anonymous pages"; delta = Relations;
+      source = fig_17_1_anon_rmap };
+    { id = 16; fig = "17-6"; descr = "swap area descriptors"; delta = Negligible;
+      source = fig_17_6_swap };
+    { id = 17; fig = "19-1/2"; descr = "IPC semaphore and message queues"; delta = Significant;
+      source = fig_19_ipc };
+    { id = 18; fig = "workqueue"; descr = "work queue (heterogeneous list)"; delta = Significant;
+      source = fig_workqueue };
+    { id = 19; fig = "proc2vfs"; descr = "from process to VFS"; delta = Negligible;
+      source = fig_proc2vfs };
+    { id = 20; fig = "socketconn"; descr = "socket connection"; delta = Variables;
+      source = fig_socket } ]
+
+let find fig = List.find_opt (fun s -> s.fig = fig) table2
+
+let loc s = Viewcl.loc_of s.source

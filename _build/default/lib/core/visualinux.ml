@@ -1,0 +1,188 @@
+(** Visualinux — the framework façade (paper §4).
+
+    A {!session} binds a booted simulated kernel, the debugger target, and
+    the pane manager, and exposes the three v-commands:
+
+    - {!vplot}: evaluate a ViewCL program, open the result in a pane;
+    - {!vctrl}: pane control — apply ViewQL, split, focus, persist;
+    - {!vchat}: natural language -> ViewQL -> apply. *)
+
+module Scripts = Scripts
+module Objectives = Objectives
+
+type session = {
+  kernel : Kstate.t;
+  target : Target.t;
+  panel : Panel.t;
+  cfg : Viewcl.config;
+  mutable target_pid : int;
+}
+
+(** The EMOJI decorator instances of Table 1: stateful-value glyphs. *)
+let emojis =
+  [ ("lock", fun v -> if v <> 0 then "[LOCKED]" else "[unlocked]");
+    ("onrq", fun v -> if v <> 0 then "[on-rq]" else "[off-rq]");
+    ("dead", fun v -> if v <> 0 then "[DEAD]" else "[live]") ]
+
+let config () = { Viewcl.flags = Ktypes.flag_tables; emojis }
+
+(** Attach to a booted kernel. [target_pid] (default: the first user
+    process) is exposed to ViewCL scripts as a macro. *)
+let attach ?target_pid kernel =
+  let target = Khelpers.attach kernel in
+  let pid =
+    match target_pid with
+    | Some p -> p
+    | None -> (
+        (* Prefer a user-space group leader with a populated fd table (the
+           workload's first worker); fall back to any user leader. *)
+        let ctx = kernel.Kstate.ctx in
+        let user t =
+          Kcontext.r64 ctx t "task_struct" "mm" <> 0
+          && Ktask.pid ctx t > 1
+          && Kcontext.r64 ctx t "task_struct" "group_leader" = t
+        in
+        let fd_count t =
+          match Kcontext.r64 ctx t "task_struct" "files" with
+          | 0 -> 0
+          | files -> List.length (Kvfs.open_fds kernel.Kstate.vfs files)
+        in
+        let users = List.filter user (Kstate.all_tasks kernel) in
+        match List.find_opt (fun t -> fd_count t >= 4) users with
+        | Some t -> Ktask.pid ctx t
+        | None -> ( match users with t :: _ -> Ktask.pid ctx t | [] -> 1))
+  in
+  Target.add_macro target "target_pid" pid;
+  { kernel; target; panel = Panel.create (); cfg = config (); target_pid = pid }
+
+let set_target_pid s pid =
+  s.target_pid <- pid;
+  Target.add_macro s.target "target_pid" pid
+
+(* ------------------------------------------------------------------ *)
+(* v-commands *)
+
+(** Statistics of one extraction, for the Table 4 experiment. *)
+type plot_stats = {
+  boxes : int;
+  bytes : int;  (** total sizeof of plotted kernel objects *)
+  reads : int;  (** target read operations during extraction *)
+  read_bytes : int;
+  wall_ms : float;  (** actual OCaml wall-clock extraction time *)
+}
+
+(** vplot: evaluate ViewCL source, open a primary pane with the plot. *)
+let vplot s ?(title = "plot") src =
+  Target.reset_stats s.target;
+  let t0 = Unix.gettimeofday () in
+  let res = Viewcl.run ~cfg:s.cfg s.target src in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let st = Target.stats s.target in
+  Vgraph.set_title res.Viewcl.graph title;
+  let pane = Panel.open_primary s.panel ~program:src res.Viewcl.graph in
+  let stats =
+    { boxes = Vgraph.box_count res.Viewcl.graph; bytes = Vgraph.total_bytes res.Viewcl.graph;
+      reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms }
+  in
+  (pane, res, stats)
+
+(** vctrl subcommands. *)
+type vctrl =
+  | Apply of { pane : Panel.pane_id; viewql : string }
+  | Split of { pane : Panel.pane_id; dir : [ `Horizontal | `Vertical ]; program : string }
+  | Focus of { addr : int }
+  | Select of { pane : Panel.pane_id; boxes : Vgraph.box_id list }
+  | Close of { pane : Panel.pane_id }
+
+type vctrl_result =
+  | Updated of int
+  | Opened of Panel.pane_id
+  | Found of (Panel.pane_id * Vgraph.box_id) list
+  | Closed
+
+let vctrl s cmd =
+  match cmd with
+  | Apply { pane; viewql } -> Updated (Panel.refine s.panel ~at:pane viewql)
+  | Split { pane; dir; program } ->
+      let res = Viewcl.run ~cfg:s.cfg s.target program in
+      let p = Panel.split s.panel ~dir ~at:pane ~program res.Viewcl.graph in
+      Opened p.Panel.pid
+  | Focus { addr } -> Found (Panel.focus s.panel ~addr)
+  | Select { pane; boxes } ->
+      let p = Panel.select s.panel ~from:pane boxes in
+      Opened p.Panel.pid
+  | Close { pane } ->
+      Panel.close s.panel pane;
+      Closed
+
+(** vchat: natural language -> ViewQL (via the deterministic synthesizer
+    or a plugged-in LLM) -> applied to the pane. Returns the synthesized
+    program and the number of boxes updated. *)
+let vchat s ?llm ~pane text =
+  let program = Vchat.synthesize ?llm text in
+  let updated = Panel.refine s.panel ~at:pane program in
+  (program, updated)
+
+(* ------------------------------------------------------------------ *)
+(* Session persistence: save pane programs + refinement histories and
+   replay them against a (possibly different) kernel state — "persisting
+   the state of panes and plots for reuse across debugging sessions". *)
+
+let save_session s = Panel.to_json s.panel
+
+(** The replayable essence of a session: primary pane programs with their
+    refinement histories. *)
+let session_programs s = Panel.saved_programs s.panel
+
+(** Replay saved programs into [s] (typically a fresh session on a new
+    kernel): re-extracts each plot and re-applies its ViewQL history. *)
+let replay s programs =
+  List.map
+    (fun (program, history) ->
+      let pane, res, _ = vplot s program in
+      List.iter (fun ql -> ignore (Panel.refine s.panel ~at:pane.Panel.pid ql)) history;
+      (pane, res))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* Naive ViewCL synthesis (paper §4: "vplot ... can also synthesize naive
+   ViewCL code for trivial debugging objectives"): generate a Box showing
+   every scalar field of a registered struct, from the type registry. *)
+
+let synthesize_viewcl reg ~typ ~expr =
+  if not (Ctype.is_defined reg typ) then
+    invalid_arg (Printf.sprintf "vplot_auto: unknown type %S" typ);
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "define Auto_%s as Box<%s> [\n" typ typ);
+  List.iter
+    (fun f ->
+      let name = f.Ctype.fname in
+      match f.Ctype.ftyp with
+      | Ctype.Int _ | Ctype.Bool -> Buffer.add_string buf (Printf.sprintf "  Text %s\n" name)
+      | Ctype.Array (Ctype.Int { Ctype.ik_size = 1; _ }, _) ->
+          Buffer.add_string buf (Printf.sprintf "  Text<string> %s\n" name)
+      | Ctype.Ptr (Ctype.Func _) ->
+          Buffer.add_string buf (Printf.sprintf "  Text<fptr> %s\n" name)
+      | Ctype.Ptr _ -> Buffer.add_string buf (Printf.sprintf "  Text<raw_ptr> %s\n" name)
+      | Ctype.Named n when Ctype.is_defined reg n && Ctype.kind_of reg n = Ctype.Enum_kind ->
+          Buffer.add_string buf (Printf.sprintf "  Text<enum:%s> %s\n" n name)
+      | Ctype.Named _ | Ctype.Array _ | Ctype.Void | Ctype.Func _ ->
+          (* embedded aggregates are beyond a naive plot *)
+          ())
+    (Ctype.fields reg typ);
+  Buffer.add_string buf "]\n";
+  Buffer.add_string buf (Printf.sprintf "plot Auto_%s(${%s})\n" typ expr);
+  Buffer.contents buf
+
+(** vplot with synthesized ViewCL: plot the struct [typ] object denoted by
+    the C expression [expr], showing all its scalar fields. *)
+let vplot_auto s ~typ ~expr =
+  let src = synthesize_viewcl (Target.types s.target) ~typ ~expr in
+  vplot s ~title:(Printf.sprintf "auto: %s" typ) src
+
+(* ------------------------------------------------------------------ *)
+(* Convenience: run a Table 2 figure end to end. *)
+
+let plot_figure s (sc : Scripts.script) =
+  let title = Printf.sprintf "ULK Fig %s: %s" sc.Scripts.fig sc.Scripts.descr in
+  vplot s ~title sc.Scripts.source

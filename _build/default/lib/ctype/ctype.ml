@@ -1,0 +1,209 @@
+type ikind = { ik_name : string; ik_size : int; ik_signed : bool }
+
+type t =
+  | Void
+  | Bool
+  | Int of ikind
+  | Ptr of t
+  | Array of t * int
+  | Func of string
+  | Named of string
+
+let mk name size signed = Int { ik_name = name; ik_size = size; ik_signed = signed }
+let char = mk "char" 1 true
+let uchar = mk "unsigned char" 1 false
+let short = mk "short" 2 true
+let ushort = mk "unsigned short" 2 false
+let int = mk "int" 4 true
+let uint = mk "unsigned int" 4 false
+let long = mk "long" 8 true
+let ulong = mk "unsigned long" 8 false
+let llong = mk "long long" 8 true
+let u8 = mk "u8" 1 false
+let u16 = mk "u16" 2 false
+let u32 = mk "u32" 4 false
+let u64 = mk "u64" 8 false
+let i8 = mk "s8" 1 true
+let i16 = mk "s16" 2 true
+let i32 = mk "s32" 4 true
+let i64 = mk "s64" 8 true
+let size_t = mk "size_t" 8 false
+let voidp = Ptr Void
+let charp = Ptr char
+let fptr name = Ptr (Func name)
+
+type field_spec = F of string * t | Fbits of string * t * int | Fat of string * t * int
+type field = { fname : string; ftyp : t; foffset : int; fbit : (int * int) option }
+type composite_kind = Struct_kind | Union_kind | Enum_kind
+
+type composite = {
+  ckind : composite_kind;
+  cfields : field list;  (* empty for enums *)
+  cconsts : (string * int) list;  (* empty for structs/unions *)
+  csize : int;
+  calign : int;
+}
+
+type registry = {
+  comps : (string, composite) Hashtbl.t;
+  mutable names_rev : string list;
+}
+
+let create_registry () = { comps = Hashtbl.create 128; names_rev = [] }
+
+let composite reg name =
+  match Hashtbl.find_opt reg.comps name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Ctype: undefined composite %S" name)
+
+let rec sizeof reg = function
+  | Void -> invalid_arg "Ctype.sizeof: void"
+  | Bool -> 1
+  | Int ik -> ik.ik_size
+  | Ptr _ -> 8
+  | Array (elt, n) -> n * sizeof reg elt
+  | Func _ -> invalid_arg "Ctype.sizeof: bare function type"
+  | Named n -> (composite reg n).csize
+
+let rec alignof reg = function
+  | Void -> 1
+  | Bool -> 1
+  | Int ik -> ik.ik_size
+  | Ptr _ -> 8
+  | Array (elt, _) -> alignof reg elt
+  | Func _ -> 1
+  | Named n -> (composite reg n).calign
+
+let align_up x a = (x + a - 1) / a * a
+
+(* C-style struct layout with bitfield packing: consecutive bitfields share
+   a storage unit while they fit; a plain field or a unit overflow starts a
+   new aligned storage unit. *)
+let layout_struct reg specs =
+  let check_dup seen n =
+    if List.mem n seen then invalid_arg (Printf.sprintf "Ctype: duplicate field %S" n)
+  in
+  let rec go specs seen off bit_off fields =
+    (* [off] is the next free byte; [bit_off] is Some (unit_off, unit_size,
+       used_bits) while inside a bitfield storage unit. *)
+    match specs with
+    | [] ->
+        let off = match bit_off with Some (u, sz, _) -> max off (u + sz) | None -> off in
+        (List.rev fields, off)
+    | F (n, t) :: rest ->
+        check_dup seen n;
+        let off = match bit_off with Some (u, sz, _) -> max off (u + sz) | None -> off in
+        let o = align_up off (alignof reg t) in
+        go rest (n :: seen) (o + sizeof reg t) None
+          ({ fname = n; ftyp = t; foffset = o; fbit = None } :: fields)
+    | Fbits (n, t, w) :: rest ->
+        check_dup seen n;
+        let tsz = sizeof reg t in
+        let unit_off, used =
+          match bit_off with
+          | Some (u, sz, used) when sz = tsz && used + w <= 8 * sz -> (u, used)
+          | Some (u, sz, _) ->
+              let off = max off (u + sz) in
+              (align_up off (alignof reg t), 0)
+          | None -> (align_up off (alignof reg t), 0)
+        in
+        go rest (n :: seen) off
+          (Some (unit_off, tsz, used + w))
+          ({ fname = n; ftyp = t; foffset = unit_off; fbit = Some (used, w) } :: fields)
+    | Fat (n, t, o) :: rest ->
+        check_dup seen n;
+        let off = max off (o + sizeof reg t) in
+        go rest (n :: seen) off None
+          ({ fname = n; ftyp = t; foffset = o; fbit = None } :: fields)
+  in
+  go specs [] 0 None []
+
+let register reg name c =
+  if not (Hashtbl.mem reg.comps name) then reg.names_rev <- name :: reg.names_rev;
+  Hashtbl.replace reg.comps name c
+
+let define_struct reg name specs =
+  let fields, raw_size = layout_struct reg specs in
+  let align = List.fold_left (fun a f -> max a (alignof reg f.ftyp)) 1 fields in
+  let size = max 1 (align_up raw_size align) in
+  register reg name { ckind = Struct_kind; cfields = fields; cconsts = []; csize = size; calign = align }
+
+let define_union reg name specs =
+  let to_field = function
+    | F (n, t) | Fat (n, t, _) -> { fname = n; ftyp = t; foffset = 0; fbit = None }
+    | Fbits (n, t, w) -> { fname = n; ftyp = t; foffset = 0; fbit = Some (0, w) }
+  in
+  let fields = List.map to_field specs in
+  let align = List.fold_left (fun a f -> max a (alignof reg f.ftyp)) 1 fields in
+  let size = List.fold_left (fun a f -> max a (sizeof reg f.ftyp)) 1 fields in
+  register reg name
+    { ckind = Union_kind; cfields = fields; cconsts = []; csize = align_up size align; calign = align }
+
+let define_enum reg name consts =
+  register reg name { ckind = Enum_kind; cfields = []; cconsts = consts; csize = 4; calign = 4 }
+
+let is_defined reg name = Hashtbl.mem reg.comps name
+let kind_of reg name = (composite reg name).ckind
+let composite_names reg = List.rev reg.names_rev
+let fields reg name = (composite reg name).cfields
+
+let field_opt reg name fname =
+  List.find_opt (fun f -> f.fname = fname) (composite reg name).cfields
+
+let field reg name fname =
+  match field_opt reg name fname with
+  | Some f -> f
+  | None -> raise Not_found
+
+let offsetof reg name path =
+  let parts = String.split_on_char '.' path in
+  let rec go comp parts acc =
+    match parts with
+    | [] -> acc
+    | p :: rest -> (
+        let f = try field reg comp p with Not_found ->
+          invalid_arg (Printf.sprintf "Ctype.offsetof: no field %S in %S" p comp)
+        in
+        match (rest, f.ftyp) with
+        | [], _ -> acc + f.foffset
+        | _, Named inner -> go inner rest (acc + f.foffset)
+        | _, _ -> invalid_arg (Printf.sprintf "Ctype.offsetof: %S is not composite" p))
+  in
+  go name parts 0
+
+let enum_values reg name = (composite reg name).cconsts
+
+let enum_name_of reg name v =
+  List.find_opt (fun (_, x) -> x = v) (enum_values reg name) |> Option.map fst
+
+let enum_value_of reg name n = List.assoc_opt n (enum_values reg name)
+
+let lookup_enum_const reg const =
+  let found = ref None in
+  Hashtbl.iter
+    (fun ename c ->
+      if c.ckind = Enum_kind && !found = None then
+        match List.assoc_opt const c.cconsts with
+        | Some v -> found := Some (ename, v)
+        | None -> ())
+    reg.comps;
+  !found
+
+let is_integer = function Int _ | Bool -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+
+let strip reg = function
+  | Named n when (composite reg n).ckind = Enum_kind -> uint
+  | t -> t
+
+let rec pp ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Int ik -> Format.pp_print_string ppf ik.ik_name
+  | Ptr (Func name) -> Format.fprintf ppf "%s (*)()" name
+  | Ptr t -> Format.fprintf ppf "%a *" pp t
+  | Array (t, n) -> Format.fprintf ppf "%a[%d]" pp t n
+  | Func name -> Format.fprintf ppf "%s ()" name
+  | Named n -> Format.pp_print_string ppf n
+
+let to_string t = Format.asprintf "%a" pp t

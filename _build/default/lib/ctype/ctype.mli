@@ -1,0 +1,115 @@
+(** A C type system with layout computation.
+
+    Substitutes for the DWARF type information GDB reads from [vmlinux]:
+    every simulated kernel structure is registered here with C layout rules
+    (natural alignment, padding, bitfield packing), so that the debugger
+    side can compute [sizeof] / [offsetof] / member addresses exactly as
+    GDB does. *)
+
+(** Integer kinds, by C-ish name. *)
+type ikind = { ik_name : string; ik_size : int; ik_signed : bool }
+
+(** A (possibly composite) C type. Composites are referred to by name and
+    resolved through a {!registry}. *)
+type t =
+  | Void
+  | Bool
+  | Int of ikind
+  | Ptr of t
+  | Array of t * int
+  | Func of string  (** a function type; only meaningful behind [Ptr] *)
+  | Named of string  (** a registered struct/union/enum, by name *)
+
+(** {1 Common integer kinds} *)
+
+val char : t
+val uchar : t
+val short : t
+val ushort : t
+val int : t
+val uint : t
+val long : t
+val ulong : t
+val llong : t
+val u8 : t
+val u16 : t
+val u32 : t
+val u64 : t
+val i8 : t
+val i16 : t
+val i32 : t
+val i64 : t
+val size_t : t
+val voidp : t
+val charp : t
+val fptr : string -> t
+(** [fptr name] is a pointer to a function type displayed as [name]. *)
+
+(** {1 Composite definitions} *)
+
+(** Field specification used when defining a struct or union. *)
+type field_spec =
+  | F of string * t  (** ordinary field, offset computed by layout *)
+  | Fbits of string * t * int  (** bitfield of given width, packed C-style *)
+  | Fat of string * t * int  (** field at an explicit byte offset (overlay) *)
+
+(** A laid-out field. For a bitfield, [bit] is [(bit_offset, width)] within
+    the storage unit starting at [offset]. *)
+type field = { fname : string; ftyp : t; foffset : int; fbit : (int * int) option }
+
+type composite_kind = Struct_kind | Union_kind | Enum_kind
+
+type registry
+
+val create_registry : unit -> registry
+
+val define_struct : registry -> string -> field_spec list -> unit
+(** Define (or redefine) a struct with C layout rules.
+    @raise Invalid_argument on duplicate field names. *)
+
+val define_union : registry -> string -> field_spec list -> unit
+(** Define a union: all fields at offset 0, size = max field size. *)
+
+val define_enum : registry -> string -> (string * int) list -> unit
+(** Define an enum (4 bytes) with named constants. *)
+
+val is_defined : registry -> string -> bool
+val kind_of : registry -> string -> composite_kind
+val composite_names : registry -> string list
+
+(** {1 Layout queries} *)
+
+val sizeof : registry -> t -> int
+(** @raise Invalid_argument for [Void], bare [Func], or undefined names. *)
+
+val alignof : registry -> t -> int
+
+val fields : registry -> string -> field list
+(** Fields of a registered struct or union, in declaration order. *)
+
+val field : registry -> string -> string -> field
+(** [field reg comp name]. @raise Not_found if absent. *)
+
+val field_opt : registry -> string -> string -> field option
+
+val offsetof : registry -> string -> string -> int
+(** [offsetof reg comp path] resolves a dot-separated [path]
+    (e.g. ["se.run_node"]) through nested composites. *)
+
+val enum_values : registry -> string -> (string * int) list
+val enum_name_of : registry -> string -> int -> string option
+val enum_value_of : registry -> string -> string -> int option
+
+val lookup_enum_const : registry -> string -> (string * int) option
+(** Find an enum constant by name across all enums; returns (enum, value). *)
+
+(** {1 Type utilities} *)
+
+val is_integer : t -> bool
+val is_pointer : t -> bool
+val strip : registry -> t -> t
+(** Resolve a [Named] enum to its underlying integer type; other types are
+    returned unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/kernel/kanon.ml: Kcontext Klist Kmem Krbtree List

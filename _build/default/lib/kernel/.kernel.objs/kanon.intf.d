@@ -1,0 +1,1 @@
+lib/kernel/kanon.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kblock.ml: Kcontext Kmem Kvfs

@@ -1,0 +1,1 @@
+lib/kernel/kblock.mli: Kcontext Kmem Kvfs

@@ -1,0 +1,1 @@
+lib/kernel/kbuddy.ml: Hashtbl Kcontext Klist Kmem Ktypes

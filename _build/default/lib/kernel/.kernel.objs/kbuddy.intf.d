@@ -1,0 +1,1 @@
+lib/kernel/kbuddy.mli: Hashtbl Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kcontext.ml: Ctype Hashtbl Kmem Ktypes Printf String

@@ -1,0 +1,1 @@
+lib/kernel/kcontext.mli: Ctype Hashtbl Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kfuncs.ml: Hashtbl Kmem Option Printf

@@ -1,0 +1,1 @@
+lib/kernel/kfuncs.mli: Kmem

@@ -1,0 +1,1 @@
+lib/kernel/khelpers.ml: Array Ctype Kbuddy Kcontext Kfuncs Kipc Kirq Kmaple Kmem Kpid Krcu Ksignal Kslab Kstate Kswap Ktimer Ktypes Kvfs Kworkqueue Kxarray List Option Printf Target

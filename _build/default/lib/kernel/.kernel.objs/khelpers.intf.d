@@ -1,0 +1,1 @@
+lib/kernel/khelpers.mli: Kstate Target

@@ -1,0 +1,1 @@
+lib/kernel/khlist.ml: Kcontext Kmem List

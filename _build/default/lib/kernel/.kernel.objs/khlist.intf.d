@@ -1,0 +1,1 @@
+lib/kernel/khlist.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kipc.ml: Array Kcontext Klist Kmem Kxarray

@@ -1,0 +1,1 @@
+lib/kernel/kipc.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kirq.ml: Kcontext Kfuncs Kmem Ktypes List

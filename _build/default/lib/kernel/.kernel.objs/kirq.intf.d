@@ -1,0 +1,1 @@
+lib/kernel/kirq.mli: Kcontext Kfuncs Kmem

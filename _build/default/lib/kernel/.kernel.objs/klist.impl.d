@@ -1,0 +1,1 @@
+lib/kernel/klist.ml: Kcontext Kmem List

@@ -1,0 +1,1 @@
+lib/kernel/klist.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kmaple.ml: Kcontext Kmem Ktypes List Option

@@ -1,0 +1,1 @@
+lib/kernel/kmaple.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kmm.ml: Hashtbl Kanon Kbuddy Kcontext Klist Kmaple Kmem Ktypes List

@@ -1,0 +1,1 @@
+lib/kernel/kmm.mli: Kbuddy Kcontext Kmaple Kmem

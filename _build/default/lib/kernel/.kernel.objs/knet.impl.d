@@ -1,0 +1,1 @@
+lib/kernel/knet.ml: Kcontext Kfuncs Kmem Kvfs List

@@ -1,0 +1,1 @@
+lib/kernel/knet.mli: Kcontext Kfuncs Kmem Kvfs

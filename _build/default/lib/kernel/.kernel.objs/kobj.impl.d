@@ -1,0 +1,1 @@
+lib/kernel/kobj.ml: Kcontext Kfuncs Klist Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kobj.mli: Kcontext Kfuncs Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kpagecache.ml: Kbuddy Kcontext Kmem Ktypes Kxarray List

@@ -1,0 +1,1 @@
+lib/kernel/kpagecache.mli: Kbuddy Kcontext Kmem

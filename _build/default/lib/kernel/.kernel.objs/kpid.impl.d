@@ -1,0 +1,1 @@
+lib/kernel/kpid.ml: Kcontext Khlist Kmem Ktypes Kxarray List Option

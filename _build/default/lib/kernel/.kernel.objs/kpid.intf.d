@@ -1,0 +1,1 @@
+lib/kernel/kpid.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kpipe.ml: Kbuddy Kcontext Kfuncs Kmem Ktypes Kvfs Kxarray List String

@@ -1,0 +1,1 @@
+lib/kernel/krbtree.ml: Kcontext Kmem List

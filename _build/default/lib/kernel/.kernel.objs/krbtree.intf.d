@@ -1,0 +1,1 @@
+lib/kernel/krbtree.mli: Kcontext Kmem

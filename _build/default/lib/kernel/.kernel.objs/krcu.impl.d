@@ -1,0 +1,1 @@
+lib/kernel/krcu.ml: Array Kcontext Kfuncs Kmem List

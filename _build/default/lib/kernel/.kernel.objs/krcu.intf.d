@@ -1,0 +1,1 @@
+lib/kernel/krcu.mli: Kcontext Kfuncs Kmem

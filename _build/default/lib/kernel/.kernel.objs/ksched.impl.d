@@ -1,0 +1,1 @@
+lib/kernel/ksched.ml: Kcontext Kmem Krbtree List

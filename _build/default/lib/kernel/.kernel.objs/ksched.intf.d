@@ -1,0 +1,1 @@
+lib/kernel/ksched.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/ksignal.ml: Kcontext Kfuncs Klist Kmem

@@ -1,0 +1,1 @@
+lib/kernel/ksignal.mli: Kcontext Kfuncs Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kslab.ml: Hashtbl Kbuddy Kcontext Klist Kmem Ktypes List

@@ -1,0 +1,1 @@
+lib/kernel/kslab.mli: Hashtbl Kbuddy Kcontext Kmem

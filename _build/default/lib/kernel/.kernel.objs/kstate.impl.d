@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Hashtbl Kblock Kbuddy Kcontext Kfuncs Kipc Kirq Kmem Kmm Kobj Kpid Krcu Ksched Ksignal Kslab Kswap Ktask Ktimer Ktypes Kvfs Kworkqueue List Printf

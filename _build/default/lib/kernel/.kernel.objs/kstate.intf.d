@@ -1,0 +1,1 @@
+lib/kernel/kstate.mli: Hashtbl Kbuddy Kcontext Kfuncs Kipc Kirq Kmem Kmm Kpid Krcu Kslab Kswap Ktimer Kvfs Kworkqueue

@@ -1,0 +1,1 @@
+lib/kernel/kswap.ml: Kcontext Kmem Ktypes List

@@ -1,0 +1,1 @@
+lib/kernel/kswap.mli: Kcontext Kmem

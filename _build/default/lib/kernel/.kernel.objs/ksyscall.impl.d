@@ -1,0 +1,1 @@
+lib/kernel/ksyscall.ml: Hashtbl Kanon Kcontext Klist Kmem Kmm Knet Kpagecache Kpipe Ksched Ksignal Kstate Ktask Ktypes Kvfs List Printf

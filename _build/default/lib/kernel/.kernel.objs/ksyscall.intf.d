@@ -1,0 +1,1 @@
+lib/kernel/ksyscall.mli: Kmem Kstate

@@ -1,0 +1,1 @@
+lib/kernel/ktask.ml: Kcontext Klist Kmem Ktypes List

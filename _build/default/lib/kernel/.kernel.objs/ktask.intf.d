@@ -1,0 +1,1 @@
+lib/kernel/ktask.mli: Kcontext Kmem

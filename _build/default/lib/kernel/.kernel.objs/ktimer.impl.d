@@ -1,0 +1,1 @@
+lib/kernel/ktimer.ml: Array Kcontext Kfuncs Khlist Kmem Ktypes List

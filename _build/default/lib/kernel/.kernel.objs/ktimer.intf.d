@@ -1,0 +1,1 @@
+lib/kernel/ktimer.mli: Kcontext Kfuncs Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kvfs.ml: Kcontext Klist Kmem Ktypes Kxarray List String

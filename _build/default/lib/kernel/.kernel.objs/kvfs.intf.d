@@ -1,0 +1,1 @@
+lib/kernel/kvfs.mli: Kcontext Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kworkqueue.ml: Array Kcontext Kfuncs Klist Kmem List

@@ -1,0 +1,1 @@
+lib/kernel/kworkqueue.mli: Kcontext Kfuncs Kmem

@@ -1,0 +1,1 @@
+lib/kernel/kxarray.ml: Kcontext Kmem Ktypes List

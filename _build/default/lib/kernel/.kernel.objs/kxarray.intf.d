@@ -1,0 +1,1 @@
+lib/kernel/kxarray.mli: Kcontext Kmem

@@ -1,0 +1,17 @@
+(** Reverse mapping of anonymous pages (ULK Fig 17-1): [anon_vma]s with
+    their interval trees of [anon_vma_chain]s. *)
+
+type addr = Kmem.addr
+
+val prepare : Kcontext.t -> addr -> addr
+(** anon_vma_prepare: give a VMA an anon_vma (idempotent); creates the
+    first chain and inserts it into the interval tree. Returns the
+    anon_vma. *)
+
+val clone_into : Kcontext.t -> anon_vma:addr -> addr -> addr
+(** Link another VMA (e.g. after fork) into an existing anon_vma via a
+    fresh chain; returns the anon_vma_chain. *)
+
+val vmas_of : Kcontext.t -> addr -> addr list
+(** All VMAs mapped under an anon_vma, via its interval tree — the rmap
+    walk. *)

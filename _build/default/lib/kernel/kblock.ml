@@ -1,0 +1,23 @@
+(** Block devices (ULK Fig 14-3): [gendisk]s and their [block_device]
+    descriptors. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+let mkdev major minor = (major lsl 20) lor minor
+
+(** Create a disk with one whole-disk block_device. *)
+let add_disk ctx vfs ~name ~major ~minor =
+  let disk = alloc ctx "gendisk" in
+  w32 ctx disk "gendisk" "major" major;
+  w32 ctx disk "gendisk" "first_minor" minor;
+  w32 ctx disk "gendisk" "minors" 16;
+  wstr ctx disk "gendisk" "disk_name" ~field_size:32 name;
+  let bdev = alloc ctx "block_device" in
+  w32 ctx bdev "block_device" "bd_dev" (mkdev major minor);
+  w64 ctx bdev "block_device" "bd_disk" disk;
+  let ino = Kvfs.new_inode vfs 0 ~mode:0o60600 ~size:0 in
+  w64 ctx bdev "block_device" "bd_inode" ino;
+  w64 ctx disk "gendisk" "part0" bdev;
+  (disk, bdev)

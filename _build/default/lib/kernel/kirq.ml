@@ -1,0 +1,56 @@
+(** IRQ descriptors (ULK Fig 4-5): the [irq_desc] table with chips and
+    chained [irqaction]s. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+type t = {
+  ctx : Kcontext.t;
+  funcs : Kfuncs.t;
+  descs : addr;  (** array of irq_desc[NR_IRQS] *)
+}
+
+let create ctx funcs =
+  let descs = alloc_n ctx "irq_desc" Ktypes.nr_irqs in
+  let t = { ctx; funcs; descs } in
+  for irq = 0 to Ktypes.nr_irqs - 1 do
+    let d = descs + (irq * sizeof ctx "irq_desc") in
+    w32 ctx d "irq_desc" "irq_data.irq" irq;
+    w64 ctx d "irq_desc" "irq_data.hwirq" irq;
+    w64 ctx d "irq_desc" "handle_irq" (Kfuncs.register funcs "handle_edge_irq");
+    w32 ctx d "irq_desc" "depth" 1
+  done;
+  t
+
+let desc t irq = t.descs + (irq * sizeof t.ctx "irq_desc")
+
+let set_chip t ~irq ~chip_name =
+  let ctx = t.ctx in
+  let chip = alloc ctx "irq_chip" in
+  w64 ctx chip "irq_chip" "name" (cstring ctx chip_name);
+  w64 ctx (desc t irq) "irq_desc" "irq_data.chip" chip;
+  chip
+
+(** request_irq: append an irqaction to the descriptor's chain. *)
+let request_irq t ~irq ~name ~handler =
+  let ctx = t.ctx in
+  let d = desc t irq in
+  let act = alloc ctx "irqaction" in
+  w64 ctx act "irqaction" "handler" (Kfuncs.register t.funcs handler);
+  w32 ctx act "irqaction" "irq" irq;
+  w64 ctx act "irqaction" "name" (cstring ctx name);
+  let rec chain_tail a = if a = 0 then 0 else
+    let n = r64 ctx a "irqaction" "next" in
+    if n = 0 then a else chain_tail n
+  in
+  (match chain_tail (r64 ctx d "irq_desc" "action") with
+  | 0 -> w64 ctx d "irq_desc" "action" act
+  | tail -> w64 ctx tail "irqaction" "next" act);
+  w32 ctx d "irq_desc" "depth" 0;
+  act
+
+let actions t ~irq =
+  let ctx = t.ctx in
+  let rec go a acc = if a = 0 then List.rev acc else go (r64 ctx a "irqaction" "next") (a :: acc) in
+  go (r64 ctx (desc t irq) "irq_desc" "action") []

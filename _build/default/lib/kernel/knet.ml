@@ -1,0 +1,63 @@
+(** Sockets (the paper's added "socket connection" figure, Table 2 #21):
+    [socket]/[sock] pairs with send/receive [sk_buff] queues. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+let af_inet = 2
+let sock_stream = 1
+let tcp_established = 1
+
+let skb_queue_init ctx q =
+  (* sk_buff_head doubles as a sk_buff for linkage: next/prev point back
+     to the head itself when empty, as in the kernel. *)
+  w64 ctx q "sk_buff_head" "next" q;
+  w64 ctx q "sk_buff_head" "prev" q;
+  w32 ctx q "sk_buff_head" "qlen" 0
+
+(** Create a connected socket; returns (socket, sock, file). *)
+let socket ctx vfs funcs ~laddr ~lport ~raddr ~rport =
+  let sk = alloc ctx "sock" in
+  w32 ctx sk "sock" "skc_rcv_saddr" laddr;
+  w16 ctx sk "sock" "skc_num" lport;
+  w32 ctx sk "sock" "skc_daddr" raddr;
+  w16 ctx sk "sock" "skc_dport" rport;
+  w16 ctx sk "sock" "skc_family" af_inet;
+  w8 ctx sk "sock" "skc_state" tcp_established;
+  w32 ctx sk "sock" "sk_sndbuf" 16384;
+  w32 ctx sk "sock" "sk_rcvbuf" 131072;
+  skb_queue_init ctx (fld ctx sk "sock" "sk_receive_queue");
+  skb_queue_init ctx (fld ctx sk "sock" "sk_write_queue");
+  let so = alloc ctx "socket" in
+  w32 ctx so "socket" "state" 3 (* SS_CONNECTED *);
+  w16 ctx so "socket" "type" sock_stream;
+  w64 ctx so "socket" "sk" sk;
+  w64 ctx so "socket" "ops" (Kfuncs.register funcs "inet_stream_ops");
+  w64 ctx sk "sock" "sk_socket" so;
+  let ino = Kvfs.new_inode vfs 0 ~mode:0o140777 ~size:0 in
+  let d = Kvfs.new_dentry vfs ~parent:0 ~name:"socket:" ~inode:ino ~sb:0 in
+  let f = Kvfs.open_dentry vfs d ~flags:0 in
+  w64 ctx f "file" "private_data" so;
+  w64 ctx f "file" "f_op" (Kfuncs.register funcs "socket_file_ops");
+  w64 ctx so "socket" "file" f;
+  (so, sk, f)
+
+(** Append an skb of [len] payload bytes to queue [q]. *)
+let skb_queue_tail ctx q ~len =
+  let skb = alloc ctx "sk_buff" in
+  w32 ctx skb "sk_buff" "len" len;
+  let data = alloc_raw ctx "skb_data" (max len 64) in
+  w64 ctx skb "sk_buff" "head" data;
+  w64 ctx skb "sk_buff" "data" data;
+  let prev = r64 ctx q "sk_buff_head" "prev" in
+  w64 ctx skb "sk_buff" "next" q;
+  w64 ctx skb "sk_buff" "prev" prev;
+  w64 ctx prev "sk_buff" "next" skb;
+  w64 ctx q "sk_buff_head" "prev" skb;
+  w32 ctx q "sk_buff_head" "qlen" (r32 ctx q "sk_buff_head" "qlen" + 1);
+  skb
+
+let queue_skbs ctx q =
+  let rec go s acc = if s = q then List.rev acc else go (r64 ctx s "sk_buff" "next") (s :: acc) in
+  go (r64 ctx q "sk_buff_head" "next") []

@@ -1,0 +1,21 @@
+(** The device model (ULK Fig 13-3): kobjects, ksets, devices, drivers
+    and buses. *)
+
+type addr = Kmem.addr
+
+val kobject_init : Kcontext.t -> addr -> name:string -> parent:addr -> kset:addr -> unit
+
+val new_kset : Kcontext.t -> name:string -> parent:addr -> addr
+val new_kobject : Kcontext.t -> name:string -> parent:addr -> kset:addr -> addr
+(** Registered on the kset's member list when [kset] is non-zero. *)
+
+val new_bus : Kcontext.t -> name:string -> addr
+val new_driver : Kcontext.t -> Kfuncs.t -> name:string -> bus:addr -> addr
+(** Gets a [<name>_probe] function symbol. *)
+
+val new_device :
+  Kcontext.t -> name:string -> parent:addr -> bus:addr -> driver:addr -> kset:addr -> addr
+(** A device whose embedded kobject parents to the parent device's
+    kobject. *)
+
+val kset_members : Kcontext.t -> addr -> addr list

@@ -1,0 +1,111 @@
+(** Pipes and the splice zero-copy path (CVE-2022-0847, "Dirty Pipe").
+
+    A [pipe_inode_info] owns a ring of [pipe_buffer]s referencing pages.
+    [splice_from_file] attaches a *page-cache page* to a pipe buffer
+    without copying — and, when [~buggy:true], reproduces the Dirty Pipe
+    flaw: [copy_page_to_iter_pipe] leaves the buffer [flags] field
+    uninitialized, so a stale [PIPE_BUF_FLAG_CAN_MERGE] makes the shared
+    page writable through the pipe. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+(** Create a pipe: returns (pipe, read_file, write_file) — an anonymous
+    inode carrying [i_pipe], opened twice. *)
+let create ctx vfs funcs =
+  let pipe = alloc ctx "pipe_inode_info" in
+  let nbufs = Ktypes.pipe_def_buffers in
+  w32 ctx pipe "pipe_inode_info" "ring_size" nbufs;
+  w32 ctx pipe "pipe_inode_info" "max_usage" nbufs;
+  w32 ctx pipe "pipe_inode_info" "readers" 1;
+  w32 ctx pipe "pipe_inode_info" "writers" 1;
+  let bufs = alloc_n ctx "pipe_buffer" nbufs in
+  w64 ctx pipe "pipe_inode_info" "bufs" bufs;
+  let ino = Kvfs.new_inode vfs 0 ~mode:0o10600 ~size:0 in
+  w64 ctx ino "inode" "i_pipe" pipe;
+  let d = Kvfs.new_dentry vfs ~parent:0 ~name:"pipe:" ~inode:ino ~sb:0 in
+  let rf = Kvfs.open_dentry vfs d ~flags:0 in
+  let wf = Kvfs.open_dentry vfs d ~flags:1 in
+  let fops = Kfuncs.register funcs "pipefifo_fops" in
+  w64 ctx rf "file" "f_op" fops;
+  w64 ctx wf "file" "f_op" fops;
+  w64 ctx rf "file" "private_data" pipe;
+  w64 ctx wf "file" "private_data" pipe;
+  (pipe, rf, wf)
+
+let buf_addr ctx pipe i =
+  let bufs = r64 ctx pipe "pipe_inode_info" "bufs" in
+  let ring = r32 ctx pipe "pipe_inode_info" "ring_size" in
+  bufs + ((i mod ring) * sizeof ctx "pipe_buffer")
+
+(** Write [data] into the pipe through a freshly allocated page (the
+    normal pipe_write path: flags = CAN_MERGE for anon pipe pages). *)
+let write ctx buddy funcs pipe data =
+  let head = r32 ctx pipe "pipe_inode_info" "head" in
+  let page = Kbuddy.alloc_page buddy in
+  Kmem.write_bytes ctx.mem (Kbuddy.page_address buddy page) data;
+  let buf = buf_addr ctx pipe head in
+  w64 ctx buf "pipe_buffer" "page" page;
+  w32 ctx buf "pipe_buffer" "offset" 0;
+  w32 ctx buf "pipe_buffer" "len" (String.length data);
+  w64 ctx buf "pipe_buffer" "ops" (Kfuncs.register funcs "anon_pipe_buf_ops");
+  w32 ctx buf "pipe_buffer" "flags" Ktypes.pipe_buf_flag_can_merge;
+  w32 ctx pipe "pipe_inode_info" "head" (head + 1);
+  buf
+
+(** Zero-copy splice of page [index] of [mapping] into the pipe. With
+    [~buggy:true] the flags field is left as-is (Dirty Pipe); otherwise it
+    is cleared, as the upstream fix does. *)
+let splice_from_mapping ctx funcs pipe ~mapping ~index ~len ~buggy =
+  let page = Kxarray.load ctx (fld ctx mapping "address_space" "i_pages") index in
+  if page = 0 then invalid_arg "Kpipe.splice_from_mapping: page not cached";
+  let head = r32 ctx pipe "pipe_inode_info" "head" in
+  let buf = buf_addr ctx pipe head in
+  w64 ctx buf "pipe_buffer" "page" page;
+  w32 ctx buf "pipe_buffer" "offset" 0;
+  w32 ctx buf "pipe_buffer" "len" len;
+  w64 ctx buf "pipe_buffer" "ops" (Kfuncs.register funcs "page_cache_pipe_buf_ops");
+  if not buggy then w32 ctx buf "pipe_buffer" "flags" 0;
+  (* buggy: flags retain whatever the slot held before — the bug. *)
+  let refs = fld ctx page "page" "_refcount" in
+  w32 ctx refs "atomic_t" "counter" (r32 ctx refs "atomic_t" "counter" + 1);
+  w32 ctx pipe "pipe_inode_info" "head" (head + 1);
+  buf
+
+(** Consume the buffer at the tail (pipe_read). As in the kernel, the
+    retired ring slot is NOT scrubbed — its stale [flags] word is exactly
+    what the Dirty Pipe bug later inherits. Returns the consumed length,
+    or [None] when empty. *)
+let read ctx pipe =
+  let head = r32 ctx pipe "pipe_inode_info" "head" in
+  let tail = r32 ctx pipe "pipe_inode_info" "tail" in
+  if tail >= head then None
+  else begin
+    let buf = buf_addr ctx pipe tail in
+    let len = r32 ctx buf "pipe_buffer" "len" in
+    w32 ctx pipe "pipe_inode_info" "tail" (tail + 1);
+    Some len
+  end
+
+(** Occupied buffers, tail..head order. *)
+let buffers ctx pipe =
+  let head = r32 ctx pipe "pipe_inode_info" "head" in
+  let tail = r32 ctx pipe "pipe_inode_info" "tail" in
+  List.init (head - tail) (fun i -> buf_addr ctx pipe (tail + i))
+
+(** A pipe write that merges into the last buffer when CAN_MERGE is set —
+    the action that corrupts the page cache in the exploit. Returns the
+    page written through. *)
+let write_merge ctx pipe data =
+  match List.rev (buffers ctx pipe) with
+  | [] -> invalid_arg "Kpipe.write_merge: empty pipe"
+  | buf :: _ ->
+      let flags = r32 ctx buf "pipe_buffer" "flags" in
+      if flags land Ktypes.pipe_buf_flag_can_merge = 0 then None
+      else begin
+        let page = r64 ctx buf "pipe_buffer" "page" in
+        let len = r32 ctx buf "pipe_buffer" "len" in
+        w32 ctx buf "pipe_buffer" "len" (len + String.length data);
+        Some (page, len, data)
+      end

@@ -1,0 +1,54 @@
+(** Signal delivery structures (ULK Fig 11-1): shared [signal_struct],
+    [sighand_struct] action tables, and per-task/shared pending queues. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+let sig_dfl = 0
+let sig_ign = 1
+
+let new_sighand ctx funcs =
+  let sh = alloc ctx "sighand_struct" in
+  w32 ctx (fld ctx sh "sighand_struct" "count") "refcount_t" "refs.counter" 1;
+  (* All actions default to SIG_DFL; give SIGCHLD/SIGURG ignore entries the
+     way the kernel boots them. *)
+  ignore funcs;
+  sh
+
+let new_signal ctx =
+  let s = alloc ctx "signal_struct" in
+  w32 ctx (fld ctx s "signal_struct" "sigcnt") "refcount_t" "refs.counter" 1;
+  w32 ctx (fld ctx s "signal_struct" "live") "atomic_t" "counter" 1;
+  w32 ctx s "signal_struct" "nr_threads" 1;
+  Klist.init ctx (fld ctx s "signal_struct" "shared_pending.list");
+  s
+
+let action_addr ctx sighand signo =
+  fld ctx sighand "sighand_struct" "action" + ((signo - 1) * sizeof ctx "k_sigaction")
+
+(** Install a handler (a named function) for [signo], as signal(2). *)
+let set_action ctx funcs sighand ~signo ~handler ~flags =
+  let sa = action_addr ctx sighand signo in
+  let h =
+    match handler with
+    | `Default -> sig_dfl
+    | `Ignore -> sig_ign
+    | `Handler name -> Kfuncs.register funcs name
+  in
+  w64 ctx sa "k_sigaction" "sa.sa_handler" h;
+  w64 ctx sa "k_sigaction" "sa.sa_flags" flags
+
+let handler_of ctx sighand signo = r64 ctx (action_addr ctx sighand signo) "k_sigaction" "sa.sa_handler"
+
+(** Queue [signo] on a [sigpending] (task-private or shared). *)
+let send_signal ctx pending ~signo ~from_pid =
+  let q = alloc ctx "sigqueue" in
+  w32 ctx q "sigqueue" "si_signo" signo;
+  w32 ctx q "sigqueue" "si_pid" from_pid;
+  Klist.add_tail ctx (fld ctx pending "sigpending" "list") (fld ctx q "sigqueue" "list");
+  let set = r64 ctx pending "sigpending" "signal.sig" in
+  w64 ctx pending "sigpending" "signal.sig" (set lor (1 lsl (signo - 1)))
+
+let pending_signals ctx pending =
+  Klist.containers ctx (fld ctx pending "sigpending" "list") "sigqueue" "list"

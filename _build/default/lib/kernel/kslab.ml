@@ -1,0 +1,123 @@
+(** The slab allocator (ULK Fig 8-4): [kmem_cache]s carving objects out of
+    buddy pages, with partial/full slab lists and in-page freelists. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+type t = {
+  ctx : Kcontext.t;
+  buddy : Kbuddy.t;
+  slab_caches : addr;  (** global list_head of all caches *)
+  slab_bases : (addr, addr) Hashtbl.t;  (** slab struct -> payload base *)
+}
+
+let create ctx buddy =
+  let slab_caches = alloc ctx "list_head" in
+  Klist.init ctx slab_caches;
+  { ctx; buddy; slab_caches; slab_bases = Hashtbl.create 32 }
+
+let cache_create t name ~object_size =
+  let ctx = t.ctx in
+  let c = alloc ctx "kmem_cache" in
+  w64 ctx c "kmem_cache" "name" (cstring ctx name);
+  w32 ctx c "kmem_cache" "object_size" object_size;
+  let size = max 16 ((object_size + 15) land lnot 15) in
+  w32 ctx c "kmem_cache" "size" size;
+  w32 ctx c "kmem_cache" "align" 16;
+  Klist.init ctx (fld ctx c "kmem_cache" "partial");
+  Klist.init ctx (fld ctx c "kmem_cache" "full");
+  Klist.add_tail ctx t.slab_caches (fld ctx c "kmem_cache" "list");
+  c
+
+let slab_objects t cache =
+  let size = r32 t.ctx cache "kmem_cache" "size" in
+  Ktypes.page_size / size
+
+(* Pack the slab's inuse/objects/frozen bitfield word. *)
+let write_slab_counts ctx slab ~inuse ~objects ~frozen =
+  let word = (inuse land 0xffff) lor ((objects land 0x7fff) lsl 16) lor ((frozen land 1) lsl 31) in
+  w32 ctx slab "slab" "inuse" word
+(* NB: the three fields share one u32 storage unit at the same offset; we
+   write the packed word through the first field's offset. *)
+
+let slab_inuse ctx slab = r32 ctx slab "slab" "inuse" land 0xffff
+let slab_objcount ctx slab = (r32 ctx slab "slab" "inuse" lsr 16) land 0x7fff
+
+let new_slab t cache =
+  let ctx = t.ctx in
+  let page = Kbuddy.alloc_page t.buddy in
+  let base = Kbuddy.page_address t.buddy page in
+  let size = r32 ctx cache "kmem_cache" "size" in
+  let nobj = slab_objects t cache in
+  let slab = alloc ctx "slab" in
+  w64 ctx slab "slab" "slab_cache" cache;
+  (* Free objects are chained through their first word. *)
+  for i = 0 to nobj - 1 do
+    let o = base + (i * size) in
+    Kmem.write_u64 ctx.mem o (if i = nobj - 1 then 0 else o + size)
+  done;
+  w64 ctx slab "slab" "freelist" base;
+  Hashtbl.replace t.slab_bases slab base;
+  write_slab_counts ctx slab ~inuse:0 ~objects:nobj ~frozen:0;
+  (* The page remembers its slab via [private]; flag it PG_slab. *)
+  w64 ctx page "page" "private" slab;
+  let f = r64 ctx page "page" "flags" in
+  w64 ctx page "page" "flags" (f lor (1 lsl Ktypes.pg_slab));
+  Klist.add_tail ctx (fld ctx cache "kmem_cache" "partial") (fld ctx slab "slab" "slab_list");
+  w32 ctx (fld ctx cache "kmem_cache" "nr_slabs") "atomic_t" "counter"
+    (r32 ctx (fld ctx cache "kmem_cache" "nr_slabs") "atomic_t" "counter" + 1);
+  slab
+
+let cache_alloc t cache =
+  let ctx = t.ctx in
+  let partial = fld ctx cache "kmem_cache" "partial" in
+  let slab =
+    match Klist.containers ctx partial "slab" "slab_list" with
+    | s :: _ -> s
+    | [] -> new_slab t cache
+  in
+  let obj = r64 ctx slab "slab" "freelist" in
+  assert (obj <> 0);
+  let next_free = Kmem.read_u64 ctx.mem obj in
+  w64 ctx slab "slab" "freelist" next_free;
+  let inuse = slab_inuse ctx slab + 1 and objects = slab_objcount ctx slab in
+  write_slab_counts ctx slab ~inuse ~objects ~frozen:0;
+  if inuse = objects then begin
+    Klist.del ctx (fld ctx slab "slab" "slab_list");
+    Klist.add_tail ctx (fld ctx cache "kmem_cache" "full") (fld ctx slab "slab" "slab_list")
+  end;
+  (* Scrub the freelist link out of the returned object. *)
+  Kmem.write_u64 ctx.mem obj 0;
+  obj
+
+(* Locate the slab owning [obj]: the one whose page payload contains it. *)
+let slab_of t cache obj =
+  let ctx = t.ctx in
+  let candidates =
+    Klist.containers ctx (fld ctx cache "kmem_cache" "partial") "slab" "slab_list"
+    @ Klist.containers ctx (fld ctx cache "kmem_cache" "full") "slab" "slab_list"
+  in
+  List.find_opt
+    (fun slab ->
+      match Hashtbl.find_opt t.slab_bases slab with
+      | Some base -> obj >= base && obj < base + Ktypes.page_size
+      | None -> false)
+    candidates
+
+let cache_free t cache obj =
+  match slab_of t cache obj with
+  | None -> invalid_arg "Kslab.cache_free: object not in cache"
+  | Some slab ->
+      let ctx = t.ctx in
+      let fl = r64 ctx slab "slab" "freelist" in
+      Kmem.write_u64 ctx.mem obj fl;
+      w64 ctx slab "slab" "freelist" obj;
+      let inuse = slab_inuse ctx slab - 1 and objects = slab_objcount ctx slab in
+      write_slab_counts ctx slab ~inuse ~objects ~frozen:0;
+      if inuse = objects - 1 then begin
+        Klist.del ctx (fld ctx slab "slab" "slab_list");
+        Klist.add_tail ctx (fld ctx cache "kmem_cache" "partial") (fld ctx slab "slab" "slab_list")
+      end
+
+let caches t = Klist.containers t.ctx t.slab_caches "kmem_cache" "list"

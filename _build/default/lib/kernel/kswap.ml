@@ -1,0 +1,45 @@
+(** Swap area descriptors (ULK Fig 17-6): the [swap_info] pointer array
+    and [swap_info_struct]s with their usage maps. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+type t = {
+  ctx : Kcontext.t;
+  swap_info : addr;  (** array of MAX_SWAPFILES pointers *)
+  mutable nr : int;
+}
+
+let create ctx =
+  let swap_info = alloc_raw ctx "swap_info[]" (8 * Ktypes.max_swapfiles) in
+  { ctx; swap_info; nr = 0 }
+
+let swp_used = 1
+let swp_writeok = 2
+
+(** swapon: activate a swap area of [pages] pages backed by [file]. *)
+let swapon t ~file ~bdev ~pages ~prio ~used =
+  let ctx = t.ctx in
+  if t.nr >= Ktypes.max_swapfiles then failwith "Kswap.swapon: table full";
+  let si = alloc ctx "swap_info_struct" in
+  w64 ctx si "swap_info_struct" "flags" (swp_used lor swp_writeok);
+  w16 ctx si "swap_info_struct" "prio" prio;
+  w32 ctx si "swap_info_struct" "type" t.nr;
+  w64 ctx si "swap_info_struct" "max" pages;
+  w64 ctx si "swap_info_struct" "pages" (pages - 1);
+  w64 ctx si "swap_info_struct" "inuse_pages" used;
+  w64 ctx si "swap_info_struct" "swap_file" file;
+  w64 ctx si "swap_info_struct" "bdev" bdev;
+  let map = alloc_raw ctx "swap_map" pages in
+  (* Mark the first [used] slots as having one user each. *)
+  for i = 1 to min used (pages - 1) do
+    Kmem.write_u8 ctx.mem (map + i) 1
+  done;
+  w64 ctx si "swap_info_struct" "swap_map" map;
+  Kmem.write_u64 ctx.mem (t.swap_info + (8 * t.nr)) si;
+  t.nr <- t.nr + 1;
+  si
+
+let areas t =
+  List.init t.nr (fun i -> Kmem.read_u64 t.ctx.mem (t.swap_info + (8 * i)))

@@ -1,0 +1,433 @@
+(** Struct, union and enum layouts of the simulated Linux 6.1 kernel.
+
+    Field subsets are chosen to cover everything the paper's ViewCL
+    programs touch (Tables 2-4, Figures 4-7): identifiers, links between
+    objects, embedded containers, bitfields and compacted data. Layouts
+    follow C rules via {!Ctype}, so [container_of] and pointer arithmetic
+    behave exactly as on a real kernel. *)
+
+open Ctype
+
+let ptr name = Ptr (Named name)
+let lh = Named "list_head"
+
+(* Tunables (also registered as macros for C expressions). *)
+let nr_cpus = 2
+let page_size = 4096
+let page_shift = 12
+let comm_len = 16
+let pidhash_bits = 4
+let pidhash_sz = 1 lsl pidhash_bits
+let maple_range64_slots = 16
+let maple_arange64_slots = 10
+let xa_chunk_shift = 6
+let xa_chunk_size = 1 lsl xa_chunk_shift
+let pipe_def_buffers = 16
+let nsig = 64
+let nr_irqs = 16
+let max_order = 11
+let timer_wheel_size = 64
+let max_swapfiles = 4
+let fdtable_size = 64
+
+(* vm_flags *)
+let vm_read = 0x1
+let vm_write = 0x2
+let vm_exec = 0x4
+let vm_shared = 0x8
+let vm_growsdown = 0x100
+
+(* pipe_buffer flags *)
+let pipe_buf_flag_lru = 0x01
+let pipe_buf_flag_atomic = 0x02
+let pipe_buf_flag_gift = 0x04
+let pipe_buf_flag_packet = 0x08
+let pipe_buf_flag_can_merge = 0x10
+
+(* page flags (bit numbers) *)
+let pg_locked = 0
+let pg_dirty = 4
+let pg_lru = 5
+let pg_slab = 9
+let pg_buddy = 10
+let pg_swapcache = 16
+
+(* task state bits *)
+let task_running = 0x0000
+let task_interruptible = 0x0001
+let task_uninterruptible = 0x0002
+let task_stopped = 0x0004
+let exit_zombie = 0x0020
+let task_idle = 0x0402
+
+let define_all reg =
+  (* ------------------------------------------------------------ *)
+  (* Generic containers and kernel primitives *)
+  define_struct reg "list_head" [ F ("next", ptr "list_head"); F ("prev", ptr "list_head") ];
+  define_struct reg "hlist_head" [ F ("first", ptr "hlist_node") ];
+  define_struct reg "hlist_node"
+    [ F ("next", ptr "hlist_node"); F ("pprev", Ptr (ptr "hlist_node")) ];
+  define_struct reg "rb_node"
+    [ F ("__rb_parent_color", ulong); F ("rb_right", ptr "rb_node"); F ("rb_left", ptr "rb_node") ];
+  define_struct reg "rb_root" [ F ("rb_node", ptr "rb_node") ];
+  define_struct reg "rb_root_cached"
+    [ F ("rb_root", Named "rb_root"); F ("rb_leftmost", ptr "rb_node") ];
+  define_struct reg "atomic_t" [ F ("counter", int) ];
+  define_struct reg "atomic64_t" [ F ("counter", i64) ];
+  define_struct reg "refcount_t" [ F ("refs", Named "atomic_t") ];
+  define_struct reg "spinlock_t" [ F ("locked", uint); F ("owner_cpu", int) ];
+  define_struct reg "qstr" [ F ("hash_len", u64); F ("name", charp) ];
+
+  (* ------------------------------------------------------------ *)
+  (* XArray (also backs the radix-tree page cache and IDR) *)
+  define_struct reg "xarray"
+    [ F ("xa_lock", Named "spinlock_t"); F ("xa_flags", uint); F ("xa_head", voidp) ];
+  define_struct reg "xa_node"
+    [ F ("shift", u8); F ("offset", u8); F ("count", u8); F ("nr_values", u8);
+      F ("parent", ptr "xa_node"); F ("array", ptr "xarray");
+      F ("slots", Array (voidp, xa_chunk_size)) ];
+  define_struct reg "idr"
+    [ F ("idr_rt", Named "xarray"); F ("idr_base", uint); F ("idr_next", uint) ];
+
+  (* ------------------------------------------------------------ *)
+  (* Maple tree (Linux 6.1 VMA container) *)
+  define_enum reg "maple_type"
+    [ ("maple_dense", 0); ("maple_leaf_64", 1); ("maple_range_64", 2); ("maple_arange_64", 3) ];
+  define_struct reg "maple_tree"
+    [ F ("ma_lock", Named "spinlock_t"); F ("ma_flags", uint); F ("ma_root", voidp) ];
+  define_struct reg "maple_metadata" [ F ("end", u8); F ("gap", u8) ];
+  define_struct reg "maple_range_64"
+    [ F ("parent", voidp);
+      F ("pivot", Array (ulong, maple_range64_slots - 1));
+      F ("slot", Array (voidp, maple_range64_slots)) ];
+  define_struct reg "maple_arange_64"
+    [ F ("parent", voidp);
+      F ("pivot", Array (ulong, maple_arange64_slots - 1));
+      F ("slot", Array (voidp, maple_arange64_slots));
+      F ("gap", Array (ulong, maple_arange64_slots));
+      F ("meta", Named "maple_metadata") ];
+  (* As in the kernel, [maple_node] is a union overlay: [mr64] and [ma64]
+     each begin with the shared [parent] pointer. 256 bytes, and nodes are
+     allocated 256-aligned so encoded pointers can carry the node type in
+     their low bits. *)
+  define_struct reg "maple_node"
+    [ Fat ("parent", voidp, 0);
+      Fat ("mr64", Named "maple_range_64", 0);
+      Fat ("ma64", Named "maple_arange_64", 0) ];
+
+  (* ------------------------------------------------------------ *)
+  (* RCU *)
+  define_struct reg "callback_head" [ F ("next", ptr "callback_head"); F ("func", fptr "rcu_callback") ];
+  define_struct reg "rcu_data"
+    [ F ("cblist", ptr "callback_head"); F ("cbtail", ptr "callback_head");
+      F ("gp_seq", ulong); F ("cpu", int) ];
+  define_struct reg "rcu_state" [ F ("gp_seq", ulong); F ("name", charp) ];
+
+  (* ------------------------------------------------------------ *)
+  (* Scheduler *)
+  define_struct reg "load_weight" [ F ("weight", ulong); F ("inv_weight", u32) ];
+  define_struct reg "sched_entity"
+    [ F ("load", Named "load_weight"); F ("run_node", Named "rb_node");
+      F ("group_node", lh); F ("on_rq", uint); F ("exec_start", u64);
+      F ("sum_exec_runtime", u64); F ("vruntime", u64); F ("prev_sum_exec_runtime", u64) ];
+  define_struct reg "cfs_rq"
+    [ F ("load", Named "load_weight"); F ("nr_running", uint); F ("h_nr_running", uint);
+      F ("min_vruntime", u64); F ("tasks_timeline", Named "rb_root_cached");
+      F ("curr", ptr "sched_entity") ];
+  define_struct reg "rq"
+    [ F ("__lock", Named "spinlock_t"); F ("nr_running", uint); F ("cpu", int);
+      F ("cfs", Named "cfs_rq"); F ("curr", ptr "task_struct"); F ("idle", ptr "task_struct");
+      F ("clock", u64) ];
+
+  (* ------------------------------------------------------------ *)
+  (* Signals *)
+  define_struct reg "sigset_t" [ F ("sig", ulong) ];
+  define_struct reg "sigpending" [ F ("list", lh); F ("signal", Named "sigset_t") ];
+  define_struct reg "sigqueue"
+    [ F ("list", lh); F ("flags", int); F ("si_signo", int); F ("si_code", int);
+      F ("si_pid", int) ];
+  define_struct reg "sigaction"
+    [ F ("sa_handler", fptr "sighandler"); F ("sa_flags", ulong); F ("sa_mask", Named "sigset_t") ];
+  define_struct reg "k_sigaction" [ F ("sa", Named "sigaction") ];
+  define_struct reg "sighand_struct"
+    [ F ("count", Named "refcount_t"); F ("action", Array (Named "k_sigaction", nsig));
+      F ("siglock", Named "spinlock_t") ];
+  define_struct reg "signal_struct"
+    [ F ("sigcnt", Named "refcount_t"); F ("live", Named "atomic_t"); F ("nr_threads", int);
+      F ("shared_pending", Named "sigpending"); F ("group_exit_code", int);
+      F ("pids", Array (ptr "pid", 4)) ];
+
+  (* ------------------------------------------------------------ *)
+  (* PIDs: both the classic hash table (ULK Fig 3-6) and struct pid *)
+  define_enum reg "pid_type"
+    [ ("PIDTYPE_PID", 0); ("PIDTYPE_TGID", 1); ("PIDTYPE_PGID", 2); ("PIDTYPE_SID", 3) ];
+  define_struct reg "upid"
+    [ F ("nr", int); F ("ns", ptr "pid_namespace"); F ("pid_chain", Named "hlist_node") ];
+  define_struct reg "pid"
+    [ F ("count", Named "refcount_t"); F ("level", uint);
+      F ("tasks", Array (Named "hlist_head", 4)); F ("numbers", Array (Named "upid", 1)) ];
+  define_struct reg "pid_namespace"
+    [ F ("idr", Named "idr"); F ("pid_allocated", uint); F ("level", uint);
+      F ("parent", ptr "pid_namespace") ];
+
+  (* ------------------------------------------------------------ *)
+  (* Memory management *)
+  define_struct reg "maple_tree_mm" [];
+  define_struct reg "mm_struct"
+    [ F ("mm_mt", Named "maple_tree"); F ("pgd", ulong); F ("mm_users", Named "atomic_t");
+      F ("mm_count", Named "atomic_t"); F ("map_count", int);
+      F ("mmap_base", ulong); F ("task_size", ulong); F ("total_vm", ulong);
+      F ("start_code", ulong); F ("end_code", ulong); F ("start_data", ulong);
+      F ("end_data", ulong); F ("start_brk", ulong); F ("brk", ulong);
+      F ("start_stack", ulong); F ("arg_start", ulong); F ("arg_end", ulong);
+      F ("env_start", ulong); F ("env_end", ulong);
+      F ("mmap_lock", Named "spinlock_t") ];
+  define_struct reg "vm_area_struct"
+    [ F ("vm_start", ulong); F ("vm_end", ulong); F ("vm_mm", ptr "mm_struct");
+      F ("vm_page_prot", ulong); F ("vm_flags", ulong);
+      F ("anon_vma_chain", lh); F ("anon_vma", ptr "anon_vma");
+      F ("vm_ops", fptr "vm_operations_struct"); F ("vm_pgoff", ulong);
+      F ("vm_file", ptr "file"); F ("vm_private_data", voidp) ];
+  define_struct reg "anon_vma"
+    [ F ("root", ptr "anon_vma"); F ("refcount", Named "atomic_t");
+      F ("num_children", ulong); F ("num_active_vmas", ulong);
+      F ("parent", ptr "anon_vma"); F ("rb_root", Named "rb_root_cached") ];
+  define_struct reg "anon_vma_chain"
+    [ F ("vma", ptr "vm_area_struct"); F ("anon_vma", ptr "anon_vma");
+      F ("same_vma", lh); F ("rb", Named "rb_node");
+      F ("rb_subtree_last", ulong) ];
+
+  (* Pages, buddy allocator, slab *)
+  define_struct reg "page"
+    [ F ("flags", ulong); F ("lru", lh); F ("mapping", ptr "address_space");
+      F ("index", ulong); F ("private", ulong); F ("_refcount", Named "atomic_t");
+      F ("_mapcount", Named "atomic_t") ];
+  define_struct reg "free_area" [ F ("free_list", lh); F ("nr_free", ulong) ];
+  define_struct reg "zone"
+    [ F ("name", charp); F ("managed_pages", Named "atomic64_t");
+      F ("zone_start_pfn", ulong); F ("spanned_pages", ulong);
+      F ("lock", Named "spinlock_t"); F ("free_area", Array (Named "free_area", max_order)) ];
+  define_struct reg "kmem_cache"
+    [ F ("name", charp); F ("object_size", uint); F ("size", uint); F ("align", uint);
+      F ("flags", ulong); F ("list", lh);
+      F ("partial", lh); F ("full", lh); F ("nr_slabs", Named "atomic_t") ];
+  define_struct reg "slab"
+    [ F ("slab_list", lh); F ("slab_cache", ptr "kmem_cache"); F ("freelist", voidp);
+      Fbits ("inuse", u32, 16); Fbits ("objects", u32, 15); Fbits ("frozen", u32, 1) ];
+
+  (* Swap *)
+  define_struct reg "swap_info_struct"
+    [ F ("lock", Named "spinlock_t"); F ("flags", ulong); F ("prio", short);
+      F ("type", int); F ("max", ulong); F ("swap_map", Ptr uchar); F ("pages", ulong);
+      F ("inuse_pages", ulong); F ("swap_file", ptr "file"); F ("bdev", ptr "block_device") ];
+
+  (* ------------------------------------------------------------ *)
+  (* VFS *)
+  define_struct reg "file_system_type"
+    [ F ("name", charp); F ("fs_flags", int); F ("next", ptr "file_system_type") ];
+  define_struct reg "super_block"
+    [ F ("s_list", lh); F ("s_dev", u32); F ("s_blocksize", ulong);
+      F ("s_type", ptr "file_system_type"); F ("s_magic", ulong);
+      F ("s_root", ptr "dentry"); F ("s_bdev", ptr "block_device");
+      F ("s_inodes", lh); F ("s_id", Array (char, 32)) ];
+  define_struct reg "address_space"
+    [ F ("host", ptr "inode"); F ("i_pages", Named "xarray"); F ("nrpages", ulong);
+      F ("a_ops", fptr "address_space_operations") ];
+  define_struct reg "inode"
+    [ F ("i_mode", ushort); F ("i_ino", ulong); F ("i_size", i64); F ("i_nlink", uint);
+      F ("i_sb", ptr "super_block"); F ("i_mapping", ptr "address_space");
+      F ("i_data", Named "address_space"); F ("i_count", Named "atomic_t");
+      F ("i_sb_list", lh); F ("i_pipe", ptr "pipe_inode_info") ];
+  define_struct reg "dentry"
+    [ F ("d_parent", ptr "dentry"); F ("d_name", Named "qstr"); F ("d_inode", ptr "inode");
+      F ("d_iname", Array (char, 32)); F ("d_sb", ptr "super_block");
+      F ("d_child", lh); F ("d_subdirs", lh) ];
+  define_struct reg "path" [ F ("mnt", voidp); F ("dentry", ptr "dentry") ];
+  define_struct reg "file"
+    [ F ("f_path", Named "path"); F ("f_inode", ptr "inode");
+      F ("f_op", fptr "file_operations"); F ("f_count", Named "atomic64_t");
+      F ("f_flags", uint); F ("f_mode", uint); F ("f_pos", i64);
+      F ("f_mapping", ptr "address_space"); F ("private_data", voidp) ];
+  define_struct reg "fdtable"
+    [ F ("max_fds", uint); F ("fd", Ptr (ptr "file")); F ("open_fds", Ptr ulong);
+      F ("full_fds_bits", Ptr ulong) ];
+  define_struct reg "files_struct"
+    [ F ("count", Named "atomic_t"); F ("fdt", ptr "fdtable");
+      F ("fdtab", Named "fdtable"); F ("next_fd", uint) ];
+
+  (* Block devices *)
+  define_struct reg "gendisk"
+    [ F ("major", int); F ("first_minor", int); F ("minors", int);
+      F ("disk_name", Array (char, 32)); F ("part0", ptr "block_device") ];
+  define_struct reg "block_device"
+    [ F ("bd_dev", u32); F ("bd_inode", ptr "inode"); F ("bd_super", ptr "super_block");
+      F ("bd_disk", ptr "gendisk"); F ("bd_openers", Named "atomic_t") ];
+
+  (* Pipes *)
+  define_struct reg "pipe_buffer"
+    [ F ("page", ptr "page"); F ("offset", uint); F ("len", uint);
+      F ("ops", fptr "pipe_buf_operations"); F ("flags", uint); F ("private", ulong) ];
+  define_struct reg "pipe_inode_info"
+    [ F ("mutex", Named "spinlock_t"); F ("head", uint); F ("tail", uint);
+      F ("max_usage", uint); F ("ring_size", uint); F ("readers", uint);
+      F ("writers", uint); F ("files", uint); F ("bufs", ptr "pipe_buffer");
+      F ("user", voidp) ];
+
+  (* ------------------------------------------------------------ *)
+  (* IRQs and timers *)
+  define_struct reg "irq_chip" [ F ("name", charp) ];
+  define_struct reg "irq_data"
+    [ F ("irq", uint); F ("hwirq", ulong); F ("chip", ptr "irq_chip") ];
+  define_struct reg "irqaction"
+    [ F ("handler", fptr "irq_handler"); F ("dev_id", voidp); F ("next", ptr "irqaction");
+      F ("irq", uint); F ("flags", ulong); F ("name", charp) ];
+  define_struct reg "irq_desc"
+    [ F ("irq_data", Named "irq_data"); F ("handle_irq", fptr "irq_flow_handler");
+      F ("action", ptr "irqaction"); F ("depth", uint); F ("irq_count", uint);
+      F ("name", charp) ];
+  define_struct reg "timer_list"
+    [ F ("entry", Named "hlist_node"); F ("expires", ulong);
+      F ("function", fptr "timer_fn"); F ("flags", u32) ];
+  define_struct reg "timer_base"
+    [ F ("lock", Named "spinlock_t"); F ("running_timer", ptr "timer_list");
+      F ("clk", ulong); F ("vectors", Array (Named "hlist_head", timer_wheel_size)) ];
+
+  (* ------------------------------------------------------------ *)
+  (* Workqueues *)
+  define_struct reg "work_struct"
+    [ F ("data", ulong); F ("entry", lh); F ("func", fptr "work_func") ];
+  define_struct reg "delayed_work"
+    [ F ("work", Named "work_struct"); F ("timer", Named "timer_list");
+      F ("wq", ptr "workqueue_struct"); F ("cpu", int) ];
+  define_struct reg "worker_pool"
+    [ F ("lock", Named "spinlock_t"); F ("cpu", int); F ("id", int);
+      F ("worklist", lh); F ("nr_workers", int); F ("nr_idle", int) ];
+  define_struct reg "pool_workqueue"
+    [ F ("pool", ptr "worker_pool"); F ("wq", ptr "workqueue_struct");
+      F ("refcnt", int); F ("nr_active", int); F ("inactive_works", lh);
+      F ("pwqs_node", lh) ];
+  define_struct reg "workqueue_struct"
+    [ F ("pwqs", lh); F ("list", lh); F ("flags", uint); F ("name", Array (char, 24)) ];
+
+  (* Concrete work containers (heterogeneous list demo, paper Fig. 6) *)
+  define_struct reg "vmstat_work_s"
+    [ F ("work", Named "delayed_work"); F ("cpu", int); F ("interval", int) ];
+  define_struct reg "lru_drain_work_s" [ F ("work", Named "work_struct"); F ("cpu", int) ];
+  define_struct reg "mm_compact_work_s"
+    [ F ("work", Named "work_struct"); F ("zone", ptr "zone"); F ("order", int) ];
+
+  (* ------------------------------------------------------------ *)
+  (* IPC *)
+  define_struct reg "kern_ipc_perm"
+    [ F ("deleted", Bool); F ("id", int); F ("key", int); F ("uid", uint); F ("gid", uint);
+      F ("mode", ushort); F ("seq", ulong) ];
+  define_struct reg "sem"
+    [ F ("semval", int); F ("sempid", int); F ("pending_alter", lh); F ("pending_const", lh) ];
+  define_struct reg "sem_array"
+    [ F ("sem_perm", Named "kern_ipc_perm"); F ("sem_ctime", i64); F ("sem_nsems", ulong);
+      F ("sems", ptr "sem"); F ("pending_alter", lh); F ("list_id", lh) ];
+  define_struct reg "msg_msg"
+    [ F ("m_list", lh); F ("m_type", long); F ("m_ts", size_t); F ("next", voidp) ];
+  define_struct reg "msg_queue"
+    [ F ("q_perm", Named "kern_ipc_perm"); F ("q_stime", i64); F ("q_rtime", i64);
+      F ("q_cbytes", ulong); F ("q_qnum", ulong); F ("q_qbytes", ulong);
+      F ("q_messages", lh); F ("q_receivers", lh); F ("q_senders", lh) ];
+  define_struct reg "ipc_ids"
+    [ F ("in_use", int); F ("seq", ushort); F ("ipcs_idr", Named "idr");
+      F ("max_idx", int) ];
+  define_struct reg "ipc_namespace"
+    [ F ("ids", Array (Named "ipc_ids", 3)) ];
+
+  (* ------------------------------------------------------------ *)
+  (* Networking *)
+  define_enum reg "socket_state"
+    [ ("SS_FREE", 0); ("SS_UNCONNECTED", 1); ("SS_CONNECTING", 2); ("SS_CONNECTED", 3);
+      ("SS_DISCONNECTING", 4) ];
+  define_struct reg "sk_buff"
+    [ F ("next", ptr "sk_buff"); F ("prev", ptr "sk_buff"); F ("len", uint);
+      F ("data_len", uint); F ("protocol", u16); F ("head", voidp); F ("data", voidp) ];
+  define_struct reg "sk_buff_head"
+    [ F ("next", ptr "sk_buff"); F ("prev", ptr "sk_buff"); F ("qlen", u32);
+      F ("lock", Named "spinlock_t") ];
+  define_struct reg "sock"
+    [ F ("skc_daddr", u32); F ("skc_rcv_saddr", u32); F ("skc_dport", u16);
+      F ("skc_num", u16); F ("skc_family", ushort); F ("skc_state", uchar);
+      F ("sk_receive_queue", Named "sk_buff_head"); F ("sk_write_queue", Named "sk_buff_head");
+      F ("sk_rcvbuf", int); F ("sk_sndbuf", int); F ("sk_socket", ptr "socket") ];
+  define_struct reg "socket"
+    [ F ("state", Named "socket_state"); F ("type", short); F ("flags", ulong);
+      F ("file", ptr "file"); F ("sk", ptr "sock"); F ("ops", fptr "proto_ops") ];
+
+  (* ------------------------------------------------------------ *)
+  (* Device model *)
+  define_struct reg "kref" [ F ("refcount", Named "refcount_t") ];
+  define_struct reg "kobject"
+    [ F ("name", charp); F ("entry", lh); F ("parent", ptr "kobject");
+      F ("kset", ptr "kset"); F ("ktype", fptr "kobj_type"); F ("kref", Named "kref") ];
+  define_struct reg "kset"
+    [ F ("list", lh); F ("list_lock", Named "spinlock_t"); F ("kobj", Named "kobject") ];
+  define_struct reg "bus_type" [ F ("name", charp) ];
+  define_struct reg "device_driver"
+    [ F ("name", charp); F ("bus", ptr "bus_type"); F ("probe", fptr "probe_fn") ];
+  define_struct reg "device"
+    [ F ("kobj", Named "kobject"); F ("parent", ptr "device");
+      F ("driver", ptr "device_driver"); F ("bus", ptr "bus_type");
+      F ("devt", u32) ];
+
+  (* ------------------------------------------------------------ *)
+  (* The task_struct itself (last: it references most of the above) *)
+  define_struct reg "task_struct"
+    [ F ("__state", uint); F ("flags", uint); F ("on_cpu", int); F ("cpu", int);
+      F ("prio", int); F ("static_prio", int); F ("normal_prio", int);
+      F ("se", Named "sched_entity"); F ("policy", uint);
+      F ("tasks", lh); F ("pushable_tasks", lh);
+      F ("mm", ptr "mm_struct"); F ("active_mm", ptr "mm_struct");
+      F ("exit_state", int); F ("exit_code", int);
+      F ("pid", int); F ("tgid", int);
+      F ("real_parent", ptr "task_struct"); F ("parent", ptr "task_struct");
+      F ("children", lh); F ("sibling", lh);
+      F ("group_leader", ptr "task_struct"); F ("thread_group", lh);
+      F ("thread_pid", ptr "pid");
+      F ("utime", u64); F ("stime", u64); F ("start_time", u64);
+      F ("comm", Array (char, comm_len));
+      F ("fs", voidp); F ("files", ptr "files_struct");
+      F ("signal", ptr "signal_struct"); F ("sighand", ptr "sighand_struct");
+      F ("pending", Named "sigpending"); F ("blocked", Named "sigset_t") ];
+  ()
+
+(* Macro-like constants visible to C expressions. *)
+let macros =
+  [ ("NR_CPUS", nr_cpus); ("PAGE_SIZE", page_size); ("PAGE_SHIFT", page_shift);
+    ("PIDHASH_SZ", pidhash_sz); ("MAPLE_RANGE64_SLOTS", maple_range64_slots);
+    ("MAPLE_ARANGE64_SLOTS", maple_arange64_slots); ("XA_CHUNK_SIZE", xa_chunk_size);
+    ("PIPE_DEF_BUFFERS", pipe_def_buffers); ("NSIG", nsig); ("NR_IRQS", nr_irqs);
+    ("MAX_ORDER", max_order); ("MAX_SWAPFILES", max_swapfiles);
+    ("VM_READ", vm_read); ("VM_WRITE", vm_write); ("VM_EXEC", vm_exec);
+    ("VM_SHARED", vm_shared); ("VM_GROWSDOWN", vm_growsdown);
+    ("PIPE_BUF_FLAG_LRU", pipe_buf_flag_lru); ("PIPE_BUF_FLAG_ATOMIC", pipe_buf_flag_atomic);
+    ("PIPE_BUF_FLAG_GIFT", pipe_buf_flag_gift); ("PIPE_BUF_FLAG_PACKET", pipe_buf_flag_packet);
+    ("PIPE_BUF_FLAG_CAN_MERGE", pipe_buf_flag_can_merge);
+    ("PG_locked", pg_locked); ("PG_dirty", pg_dirty); ("PG_lru", pg_lru);
+    ("PG_slab", pg_slab); ("PG_buddy", pg_buddy); ("PG_swapcache", pg_swapcache);
+    ("TASK_RUNNING", task_running); ("TASK_INTERRUPTIBLE", task_interruptible);
+    ("TASK_UNINTERRUPTIBLE", task_uninterruptible); ("TASK_STOPPED", task_stopped);
+    ("EXIT_ZOMBIE", exit_zombie); ("TASK_IDLE", task_idle);
+    ("NULL", 0) ]
+
+(* Bit-flag tables used by the Flag text decorator. *)
+let flag_tables =
+  [ ( "vm_flags",
+      [ (vm_read, "VM_READ"); (vm_write, "VM_WRITE"); (vm_exec, "VM_EXEC");
+        (vm_shared, "VM_SHARED"); (vm_growsdown, "VM_GROWSDOWN") ] );
+    ( "pipe_buf_flags",
+      [ (pipe_buf_flag_lru, "LRU"); (pipe_buf_flag_atomic, "ATOMIC");
+        (pipe_buf_flag_gift, "GIFT"); (pipe_buf_flag_packet, "PACKET");
+        (pipe_buf_flag_can_merge, "CAN_MERGE") ] );
+    ( "page_flags",
+      [ (1 lsl pg_locked, "PG_locked"); (1 lsl pg_dirty, "PG_dirty");
+        (1 lsl pg_lru, "PG_lru"); (1 lsl pg_slab, "PG_slab");
+        (1 lsl pg_buddy, "PG_buddy"); (1 lsl pg_swapcache, "PG_swapcache") ] );
+    ( "task_state",
+      [ (task_interruptible, "TASK_INTERRUPTIBLE");
+        (task_uninterruptible, "TASK_UNINTERRUPTIBLE"); (task_stopped, "TASK_STOPPED");
+        (exit_zombie, "EXIT_ZOMBIE") ] ) ]

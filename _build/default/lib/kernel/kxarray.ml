@@ -1,0 +1,148 @@
+(** The XArray ([struct xarray]) on raw simulated memory.
+
+    This is the Linux 6.1 successor of the radix tree; it backs the page
+    cache (ULK Fig 15-1) and the IDR used by IPC and PID namespaces.
+    Internal node pointers are tagged with low bits [10b] exactly as the
+    kernel's [xa_mk_node]; leaf entries are untagged object pointers. *)
+
+open Kcontext
+
+type addr = Kmem.addr
+
+let chunk_shift = Ktypes.xa_chunk_shift
+let chunk_size = Ktypes.xa_chunk_size
+let chunk_mask = chunk_size - 1
+
+(* Entry tagging, as in xarray.h *)
+let node_tag = 2
+let is_node e = e land 3 = node_tag && e > 4096
+let to_node e = e land lnot 3
+let mk_node n = n lor node_tag
+
+let head ctx xa = r64 ctx xa "xarray" "xa_head"
+let set_head ctx xa v = w64 ctx xa "xarray" "xa_head" v
+
+let init ctx xa = set_head ctx xa 0
+
+let node_shift ctx n = r8 ctx n "xa_node" "shift"
+let node_count ctx n = r8 ctx n "xa_node" "count"
+
+let slot_addr ctx n i = fld ctx n "xa_node" "slots" + (8 * i)
+let slot ctx n i = Kmem.read_u64 ctx.mem (slot_addr ctx n i)
+let set_slot ctx n i v = Kmem.write_u64 ctx.mem (slot_addr ctx n i) v
+
+let alloc_node ctx xa ~shift ~parent ~offset =
+  let n = alloc ctx "xa_node" in
+  w8 ctx n "xa_node" "shift" shift;
+  w8 ctx n "xa_node" "offset" offset;
+  w64 ctx n "xa_node" "parent" parent;
+  w64 ctx n "xa_node" "array" xa;
+  n
+
+(* Maximum index representable under the current head. *)
+let max_index ctx xa =
+  match head ctx xa with
+  | 0 -> -1
+  | e when not (is_node e) -> 0
+  | e ->
+      let shift = node_shift ctx (to_node e) in
+      (1 lsl (shift + chunk_shift)) - 1
+
+(* Grow the tree until [index] fits. *)
+let rec expand ctx xa index =
+  if index > max_index ctx xa then begin
+    let old = head ctx xa in
+    if old = 0 then begin
+      (* Empty: create a node tall enough directly. *)
+      let rec need_shift s = if index <= (1 lsl (s + chunk_shift)) - 1 then s else need_shift (s + chunk_shift) in
+      let n = alloc_node ctx xa ~shift:(need_shift 0) ~parent:0 ~offset:0 in
+      set_head ctx xa (mk_node n)
+    end
+    else begin
+      let old_shift = if is_node old then node_shift ctx (to_node old) + chunk_shift else 0 in
+      let n = alloc_node ctx xa ~shift:old_shift ~parent:0 ~offset:0 in
+      set_slot ctx n 0 old;
+      w8 ctx n "xa_node" "count" 1;
+      if is_node old then w64 ctx (to_node old) "xa_node" "parent" n;
+      set_head ctx xa (mk_node n)
+    end;
+    expand ctx xa index
+  end
+
+let store ctx xa index value =
+  if index = 0 && head ctx xa = 0 && value <> 0 then set_head ctx xa value
+  else begin
+    (* A direct entry at index 0 must be pushed down into a node first. *)
+    (match head ctx xa with
+    | 0 -> ()
+    | e when not (is_node e) ->
+        let n = alloc_node ctx xa ~shift:0 ~parent:0 ~offset:0 in
+        set_slot ctx n 0 e;
+        w8 ctx n "xa_node" "count" 1;
+        set_head ctx xa (mk_node n)
+    | _ -> ());
+    expand ctx xa index;
+    let rec descend node =
+      let shift = node_shift ctx node in
+      let i = (index lsr shift) land chunk_mask in
+      if shift = 0 then begin
+        let old = slot ctx node i in
+        set_slot ctx node i value;
+        let c = node_count ctx node in
+        let c = if old = 0 && value <> 0 then c + 1 else if old <> 0 && value = 0 then c - 1 else c in
+        w8 ctx node "xa_node" "count" c
+      end
+      else begin
+        let child = slot ctx node i in
+        let child_node =
+          if is_node child then to_node child
+          else begin
+            let n = alloc_node ctx xa ~shift:(shift - chunk_shift) ~parent:node ~offset:i in
+            set_slot ctx node i (mk_node n);
+            w8 ctx node "xa_node" "count" (node_count ctx node + 1);
+            n
+          end
+        in
+        descend child_node
+      end
+    in
+    match head ctx xa with
+    | e when is_node e -> descend (to_node e)
+    | _ -> if value <> 0 then set_head ctx xa value
+  end
+
+let load ctx xa index =
+  let rec descend node =
+    let shift = node_shift ctx node in
+    let i = (index lsr shift) land chunk_mask in
+    let child = slot ctx node i in
+    if shift = 0 then child
+    else if is_node child then descend (to_node child)
+    else 0
+  in
+  match head ctx xa with
+  | 0 -> 0
+  | e when not (is_node e) -> if index = 0 then e else 0
+  | e -> if index > max_index ctx xa then 0 else descend (to_node e)
+
+(** All (index, entry) pairs in index order. *)
+let entries ctx xa =
+  let acc = ref [] in
+  let rec walk e base =
+    if e <> 0 then
+      if not (is_node e) then acc := (base, e) :: !acc
+      else begin
+        let node = to_node e in
+        let shift = node_shift ctx node in
+        for i = 0 to chunk_size - 1 do
+          let child = slot ctx node i in
+          if child <> 0 then
+            if shift = 0 then acc := (base + i, child) :: !acc
+            else walk child (base + (i lsl shift))
+        done
+      end
+  in
+  walk (head ctx xa) 0;
+  List.rev !acc
+
+let count ctx xa = List.length (entries ctx xa)

@@ -1,0 +1,204 @@
+type addr = int
+
+let kernel_base = 0x4000_0000_0000
+let null = 0
+
+type fault =
+  | Use_after_free of { obj : addr; tag : string; at : addr }
+  | Wild_access of addr
+
+type state = Live | Freed
+
+type allocation = { base : addr; size : int; tag : string; mutable state : state }
+
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+
+type t = {
+  chunks : (int, Bytes.t) Hashtbl.t;
+  (* Allocations indexed by 4KiB-page so that point queries are O(pages
+     spanned), not O(allocations). *)
+  by_page : (int, allocation list ref) Hashtbl.t;
+  mutable cursor : addr;
+  mutable live : int;
+  mutable live_bytes : int;
+  mutable faults_rev : fault list;
+  mutable reads : int;
+  mutable bytes_read : int;
+}
+
+let create () =
+  {
+    chunks = Hashtbl.create 64;
+    by_page = Hashtbl.create 256;
+    cursor = kernel_base;
+    live = 0;
+    live_bytes = 0;
+    faults_rev = [];
+    reads = 0;
+    bytes_read = 0;
+  }
+
+let chunk_of mem a =
+  let idx = a lsr chunk_bits in
+  match Hashtbl.find_opt mem.chunks idx with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make chunk_size '\000' in
+      Hashtbl.add mem.chunks idx b;
+      b
+
+let page_bits = 12
+
+let pages_of base size =
+  let first = base lsr page_bits and last = (base + size - 1) lsr page_bits in
+  let rec collect p acc = if p > last then List.rev acc else collect (p + 1) (p :: acc) in
+  collect first []
+
+let alloc mem ?(align = 16) ~tag size =
+  let size = max size 1 in
+  let base = (mem.cursor + align - 1) land lnot (align - 1) in
+  mem.cursor <- base + size;
+  let a = { base; size; tag; state = Live } in
+  List.iter
+    (fun p ->
+      let cell =
+        match Hashtbl.find_opt mem.by_page p with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add mem.by_page p r;
+            r
+      in
+      cell := a :: !cell)
+    (pages_of base size);
+  mem.live <- mem.live + 1;
+  mem.live_bytes <- mem.live_bytes + size;
+  base
+
+let alloc_of mem a =
+  match Hashtbl.find_opt mem.by_page (a lsr page_bits) with
+  | None -> None
+  | Some r -> List.find_opt (fun al -> a >= al.base && a < al.base + al.size) !r
+
+let find_alloc mem a =
+  match alloc_of mem a with None -> None | Some al -> Some (al.base, al.size, al.tag)
+
+let is_live mem a =
+  match alloc_of mem a with Some { state = Live; _ } -> true | _ -> false
+
+let poison_byte = '\x6b'
+
+let free mem a =
+  match alloc_of mem a with
+  | Some ({ state = Live; _ } as al) when al.base = a ->
+      al.state <- Freed;
+      mem.live <- mem.live - 1;
+      mem.live_bytes <- mem.live_bytes - al.size;
+      for i = 0 to al.size - 1 do
+        let p = a + i in
+        Bytes.set (chunk_of mem p) (p land (chunk_size - 1)) poison_byte
+      done
+  | Some { state = Freed; _ } -> invalid_arg "Kmem.free: double free"
+  | Some _ -> invalid_arg "Kmem.free: not an allocation base address"
+  | None -> invalid_arg "Kmem.free: wild free"
+
+let record_fault mem f = mem.faults_rev <- f :: mem.faults_rev
+
+(* Check an [n]-byte read starting at [a]; UAF and wild reads are recorded
+   but do not stop execution — the poison (or zero) bytes are returned, as
+   on real hardware. *)
+let note_read mem a n =
+  mem.reads <- mem.reads + 1;
+  mem.bytes_read <- mem.bytes_read + n;
+  if a < kernel_base then record_fault mem (Wild_access a)
+  else
+    match alloc_of mem a with
+    | Some { state = Freed; base; tag; _ } ->
+        record_fault mem (Use_after_free { obj = base; tag; at = a })
+    | Some { state = Live; _ } | None -> ()
+
+let get mem a = Char.code (Bytes.get (chunk_of mem a) (a land (chunk_size - 1)))
+let set mem a v = Bytes.set (chunk_of mem a) (a land (chunk_size - 1)) (Char.chr (v land 0xff))
+
+let read_u8 mem a =
+  note_read mem a 1;
+  get mem a
+
+let read_le mem a n =
+  note_read mem a n;
+  let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get mem (a + i)) in
+  go (n - 1) 0
+
+let read_u16 mem a = read_le mem a 2
+let read_u32 mem a = read_le mem a 4
+
+let read_u64 mem a =
+  (* Native ints are 63-bit; our simulated addresses and values stay well
+     below 2^62, so a 64-bit field is read as low 62 bits + sign-safe top. *)
+  note_read mem a 8;
+  let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get mem (a + i)) in
+  go 7 0
+
+let sign_extend v bits =
+  let m = 1 lsl (bits - 1) in
+  (v lxor m) - m
+
+let read_i8 mem a = sign_extend (read_u8 mem a) 8
+let read_i16 mem a = sign_extend (read_u16 mem a) 16
+let read_i32 mem a = sign_extend (read_u32 mem a) 32
+
+let read_bytes mem a n =
+  note_read mem a n;
+  String.init n (fun i -> Char.chr (get mem (a + i)))
+
+let read_cstring mem ?(max = 256) a =
+  note_read mem a max;
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i < max then
+      let c = get mem (a + i) in
+      if c <> 0 then (
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1))
+  in
+  go 0;
+  Buffer.contents buf
+
+let write_u8 mem a v = set mem a v
+
+let write_le mem a n v =
+  for i = 0 to n - 1 do
+    set mem (a + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let write_u16 mem a v = write_le mem a 2 v
+let write_u32 mem a v = write_le mem a 4 v
+let write_u64 mem a v = write_le mem a 8 v
+let write_bytes mem a s = String.iteri (fun i c -> set mem (a + i) (Char.code c)) s
+
+let write_cstring mem a ?field_size s =
+  let s =
+    match field_size with
+    | Some n when String.length s >= n -> String.sub s 0 (max 0 (n - 1))
+    | _ -> s
+  in
+  write_bytes mem a s;
+  set mem (a + String.length s) 0
+
+let faults mem = List.rev mem.faults_rev
+let clear_faults mem = mem.faults_rev <- []
+let read_count mem = mem.reads
+let bytes_read mem = mem.bytes_read
+
+let reset_counters mem =
+  mem.reads <- 0;
+  mem.bytes_read <- 0
+
+let live_count mem = mem.live
+let live_bytes mem = mem.live_bytes
+
+let pp_fault ppf = function
+  | Use_after_free { obj; tag; at } ->
+      Format.fprintf ppf "use-after-free: read 0x%x inside freed %s@0x%x" at tag obj
+  | Wild_access a -> Format.fprintf ppf "wild access: 0x%x" a

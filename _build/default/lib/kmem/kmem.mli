@@ -1,0 +1,101 @@
+(** Simulated kernel memory.
+
+    A byte-addressable, little-endian memory in which all simulated kernel
+    objects live. Substitutes for the physical/virtual memory of the
+    debugged machine: the debugger side ({!Target}) only ever sees this
+    memory through address-based reads, exactly as GDB sees a remote
+    target.
+
+    Freed objects are poisoned (every byte set to [0x6b], mirroring the
+    kernel's [POISON_FREE]) and reads from them are recorded as
+    use-after-free events rather than crashing, so that UAF bugs such as
+    CVE-2023-3269 can be observed and visualized. *)
+
+type addr = int
+(** A simulated kernel virtual address. Addresses are native ints; the
+    "kernel" address space starts at {!kernel_base}. *)
+
+val kernel_base : addr
+(** Base of the simulated kernel address space ([0x4000_0000_0000]). *)
+
+val null : addr
+(** The NULL pointer (0). *)
+
+type t
+(** A memory instance: byte store + allocator + event log. *)
+
+(** Why an access was flagged. *)
+type fault =
+  | Use_after_free of { obj : addr; tag : string; at : addr }
+      (** Read of [at] inside the freed allocation [obj] (tagged [tag]). *)
+  | Wild_access of addr  (** Access to an address never allocated. *)
+
+val create : unit -> t
+
+(** {1 Allocation} *)
+
+val alloc : t -> ?align:int -> tag:string -> int -> addr
+(** [alloc mem ~tag size] allocates [size] zeroed bytes, aligned to [align]
+    (a power of two, default 16 — maple nodes need 256 so that node
+    pointers can carry type tags in their low bits).
+    [tag] names the object type for diagnostics (like a slab cache name). *)
+
+val free : t -> addr -> unit
+(** Free an allocation made by {!alloc}; poisons its bytes.
+    @raise Invalid_argument on double free or a non-allocation address. *)
+
+val is_live : t -> addr -> bool
+(** Whether [addr] lies within a currently-live allocation. *)
+
+val find_alloc : t -> addr -> (addr * int * string) option
+(** [find_alloc mem a] is [Some (base, size, tag)] when [a] lies within an
+    allocation (live or freed). *)
+
+val live_count : t -> int
+(** Number of live allocations. *)
+
+val live_bytes : t -> int
+(** Total bytes in live allocations. *)
+
+(** {1 Typed access (little-endian)} *)
+
+val read_u8 : t -> addr -> int
+val read_u16 : t -> addr -> int
+val read_u32 : t -> addr -> int
+val read_u64 : t -> addr -> int
+
+val read_i8 : t -> addr -> int
+val read_i16 : t -> addr -> int
+val read_i32 : t -> addr -> int
+
+val read_bytes : t -> addr -> int -> string
+
+val read_cstring : t -> ?max:int -> addr -> string
+(** Read a NUL-terminated string (at most [max] bytes, default 256). *)
+
+val write_u8 : t -> addr -> int -> unit
+val write_u16 : t -> addr -> int -> unit
+val write_u32 : t -> addr -> int -> unit
+val write_u64 : t -> addr -> int -> unit
+val write_bytes : t -> addr -> string -> unit
+
+val write_cstring : t -> addr -> ?field_size:int -> string -> unit
+(** Write a NUL-terminated string, truncating to [field_size - 1] bytes
+    when [field_size] is given. *)
+
+(** {1 Access accounting and faults} *)
+
+val faults : t -> fault list
+(** Faults recorded so far, oldest first. *)
+
+val clear_faults : t -> unit
+
+val read_count : t -> int
+(** Number of read operations performed so far. *)
+
+val bytes_read : t -> int
+(** Number of bytes fetched by reads so far. *)
+
+val reset_counters : t -> unit
+
+val pp_fault : Format.formatter -> fault -> unit

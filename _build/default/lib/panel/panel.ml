@@ -1,0 +1,173 @@
+(** The pane-based interactive debugger front-end (paper §2.4, Fig. 2).
+
+    Panes form a tree built by horizontal/vertical splits (an idea the
+    paper borrows from tmux). A *primary* pane displays a ViewCL-extracted
+    object graph, refinable with ViewQL; a *secondary* pane displays a
+    set of boxes picked from another pane. The cross-pane [focus]
+    operation finds an object in every displayed graph at once. *)
+
+type pane_id = int
+
+type kind =
+  | Primary of { program : string }  (** ViewCL source that produced the graph *)
+  | Secondary of { source : pane_id; picked : Vgraph.box_id list }
+
+type pane = {
+  pid : pane_id;
+  kind : kind;
+  graph : Vgraph.t;
+  session : Viewql.session;  (** named ViewQL sets persist per pane *)
+  mutable history : string list;  (** ViewQL programs applied, oldest first *)
+}
+
+type layout =
+  | Leaf of pane_id
+  | Hsplit of layout * layout  (** side by side *)
+  | Vsplit of layout * layout  (** stacked *)
+
+type t = {
+  panes : (pane_id, pane) Hashtbl.t;
+  mutable layout : layout option;
+  mutable next_id : int;
+}
+
+let create () = { panes = Hashtbl.create 8; layout = None; next_id = 1 }
+
+let pane t id =
+  match Hashtbl.find_opt t.panes id with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Panel: no pane %d" id)
+
+let pane_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.panes [] |> List.sort compare
+
+let fresh t kind graph =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let p = { pid = id; kind; graph; session = Viewql.make_session graph; history = [] } in
+  Hashtbl.replace t.panes id p;
+  p
+
+(* Replace [Leaf old] in the layout with [mk (Leaf old) (Leaf new)]. *)
+let rec splice layout old mk fresh_leaf =
+  match layout with
+  | Leaf id when id = old -> mk (Leaf id) fresh_leaf
+  | Leaf id -> Leaf id
+  | Hsplit (a, b) -> Hsplit (splice a old mk fresh_leaf, splice b old mk fresh_leaf)
+  | Vsplit (a, b) -> Vsplit (splice a old mk fresh_leaf, splice b old mk fresh_leaf)
+
+(** Open the first primary pane. *)
+let open_primary t ~program graph =
+  let p = fresh t (Primary { program }) graph in
+  (match t.layout with
+  | None -> t.layout <- Some (Leaf p.pid)
+  | Some l -> t.layout <- Some (Hsplit (l, Leaf p.pid)));
+  p
+
+(** Split an existing pane, placing a new primary pane next to it. *)
+let split t ~dir ~at ~program graph =
+  ignore (pane t at);
+  let p = fresh t (Primary { program }) graph in
+  let mk a b = match dir with `Horizontal -> Hsplit (a, b) | `Vertical -> Vsplit (a, b) in
+  (match t.layout with
+  | None -> t.layout <- Some (Leaf p.pid)
+  | Some l -> t.layout <- Some (splice l at mk (Leaf p.pid)));
+  p
+
+(** Select boxes from [src] into a new secondary pane (shares the graph:
+    the secondary pane is a focused window onto the same object graph,
+    with everything else trimmed in its own rendering set). *)
+let select t ~from:src ids =
+  let sp = pane t src in
+  let p = fresh t (Secondary { source = src; picked = ids }) sp.graph in
+  (match t.layout with
+  | None -> t.layout <- Some (Leaf p.pid)
+  | Some l -> t.layout <- Some (splice l src (fun a b -> Vsplit (a, b)) (Leaf p.pid)));
+  p
+
+(** Refine a pane by a ViewQL program; returns #boxes updated. *)
+let refine t ~at src =
+  let p = pane t at in
+  let n = Viewql.exec p.session src in
+  p.history <- p.history @ [ src ];
+  n
+
+(** Cross-pane focus: find the object at [addr] in every pane. *)
+let focus t ~addr =
+  List.concat_map
+    (fun id ->
+      let p = pane t id in
+      List.filter_map
+        (fun b -> if b.Vgraph.addr = addr && addr <> 0 then Some (id, b.Vgraph.id) else None)
+        (Vgraph.boxes p.graph))
+    (pane_ids t)
+
+let close t id =
+  Hashtbl.remove t.panes id;
+  let rec prune = function
+    | Leaf x when x = id -> None
+    | Leaf x -> Some (Leaf x)
+    | Hsplit (a, b) -> join (prune a) (prune b) (fun a b -> Hsplit (a, b))
+    | Vsplit (a, b) -> join (prune a) (prune b) (fun a b -> Vsplit (a, b))
+  and join a b mk =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (mk a b)
+  in
+  t.layout <- Option.join (Option.map prune t.layout)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: serialize programs + refinement history, so a debugging
+   session's views can be re-created against a (new) kernel state. *)
+
+let rec layout_to_json = function
+  | Leaf id -> Printf.sprintf "{\"leaf\":%d}" id
+  | Hsplit (a, b) -> Printf.sprintf "{\"h\":[%s,%s]}" (layout_to_json a) (layout_to_json b)
+  | Vsplit (a, b) -> Printf.sprintf "{\"v\":[%s,%s]}" (layout_to_json a) (layout_to_json b)
+
+let pane_to_json p =
+  let kind =
+    match p.kind with
+    | Primary { program } -> Printf.sprintf "\"program\":\"%s\"" (Vgraph.json_escape program)
+    | Secondary { source; picked } ->
+        Printf.sprintf "\"source\":%d,\"picked\":[%s]" source
+          (String.concat "," (List.map string_of_int picked))
+  in
+  Printf.sprintf "{\"id\":%d,%s,\"history\":[%s]}" p.pid kind
+    (String.concat "," (List.map (fun h -> Printf.sprintf "\"%s\"" (Vgraph.json_escape h)) p.history))
+
+let to_json t =
+  Printf.sprintf "{\"layout\":%s,\"panes\":[%s]}"
+    (match t.layout with Some l -> layout_to_json l | None -> "null")
+    (String.concat "," (List.map (fun id -> pane_to_json (pane t id)) (pane_ids t)))
+
+(** Recover the replayable (program, history) pairs from a session JSON
+    produced by {!to_json}. *)
+let programs_of_json json =
+  let j = Json.parse json in
+  match Json.member "panes" j with
+  | Some (Json.List panes) ->
+      List.filter_map
+        (fun p ->
+          match Json.member "program" p with
+          | Some (Json.String program) ->
+              let history =
+                match Json.member "history" p with
+                | Some (Json.List hs) ->
+                    List.filter_map (function Json.String h -> Some h | _ -> None) hs
+                | _ -> []
+              in
+              Some (program, history)
+          | _ -> None)
+        panes
+  | _ -> []
+
+(** The (program, history) pairs of all primary panes — enough to replay a
+    session against a fresh target. *)
+let saved_programs t =
+  List.filter_map
+    (fun id ->
+      let p = pane t id in
+      match p.kind with
+      | Primary { program } -> Some (program, p.history)
+      | Secondary _ -> None)
+    (pane_ids t)

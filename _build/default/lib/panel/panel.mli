@@ -1,0 +1,73 @@
+(** The pane-based interactive debugger front-end (paper §2.4, Fig. 2).
+
+    Panes form a tree built by horizontal/vertical splits (borrowed from
+    tmux). A {e primary} pane displays a ViewCL-extracted object graph
+    refinable with ViewQL; a {e secondary} pane displays boxes picked
+    from another pane. The cross-pane {!focus} operation locates an
+    object in every displayed graph at once — the paper's workflow for
+    understanding how one object is simultaneously managed by several
+    data structures. *)
+
+type pane_id = int
+
+type kind =
+  | Primary of { program : string }  (** the ViewCL source that produced the graph *)
+  | Secondary of { source : pane_id; picked : Vgraph.box_id list }
+
+type pane = {
+  pid : pane_id;
+  kind : kind;
+  graph : Vgraph.t;
+  session : Viewql.session;  (** named ViewQL sets persist per pane *)
+  mutable history : string list;  (** ViewQL programs applied, oldest first *)
+}
+
+(** The split tree. *)
+type layout = Leaf of pane_id | Hsplit of layout * layout | Vsplit of layout * layout
+
+type t
+
+val create : unit -> t
+
+val pane : t -> pane_id -> pane
+(** @raise Invalid_argument on unknown ids. *)
+
+val pane_ids : t -> pane_id list
+
+val open_primary : t -> program:string -> Vgraph.t -> pane
+(** Open a primary pane (splitting the root horizontally if the layout is
+    non-empty). *)
+
+val split :
+  t -> dir:[ `Horizontal | `Vertical ] -> at:pane_id -> program:string -> Vgraph.t -> pane
+(** Split pane [at], placing a new primary pane beside/below it. *)
+
+val select : t -> from:pane_id -> Vgraph.box_id list -> pane
+(** Pick boxes from a pane into a new secondary pane (sharing the graph). *)
+
+val refine : t -> at:pane_id -> string -> int
+(** Apply a ViewQL program to a pane; returns #box updates and appends to
+    the pane's replay history.
+    @raise Viewql.Error on malformed programs. *)
+
+val focus : t -> addr:int -> (pane_id * Vgraph.box_id) list
+(** Find the object at [addr] in every pane's graph. *)
+
+val close : t -> pane_id -> unit
+(** Remove a pane and prune the layout tree. *)
+
+(** {1 Persistence} *)
+
+val layout_to_json : layout -> string
+val pane_to_json : pane -> string
+
+val to_json : t -> string
+(** Serialize layout + per-pane programs and refinement histories. *)
+
+val programs_of_json : string -> (string * string list) list
+(** Recover the replayable (program, history) pairs from {!to_json}
+    output. *)
+
+val saved_programs : t -> (string * string list) list
+(** Same, from a live session: every primary pane's ViewCL program and
+    its ViewQL history — enough to replay against a fresh target. *)

@@ -1,0 +1,1 @@
+lib/render/render.ml: Buffer Hashtbl List Option Printf Queue String Vgraph

@@ -1,0 +1,1 @@
+lib/render/render_html.ml: Buffer Hashtbl List Option Printf Queue String Vgraph

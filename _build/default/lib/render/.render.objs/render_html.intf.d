@@ -1,0 +1,1 @@
+lib/render/render_html.mli: Vgraph

@@ -1,0 +1,26 @@
+(** Rendering of extracted object graphs (the visualizer back-ends).
+
+    All renderers honor the ViewQL display attributes: [trimmed] subtrees
+    vanish, [collapsed] boxes render as stubs, [view] selects the item
+    set, [direction] controls container member flow. *)
+
+val box_title : Vgraph.box -> string
+(** e.g. ["Task #3 <task_struct @0x400000823730>"]. *)
+
+val item_lines : Vgraph.t -> Vgraph.box -> string list
+(** The current view's items as display lines. *)
+
+val card : Vgraph.t -> Vgraph.box -> string
+(** One ASCII-framed card (or a collapsed stub). *)
+
+val ascii : ?roots:Vgraph.box_id list -> Vgraph.t -> string
+(** The visible subgraph as ASCII cards in BFS order from the roots,
+    with a trailing [(N boxes, M visible)] summary. [roots] overrides the
+    seed set — used to render a secondary pane, which displays only the
+    boxes picked from another pane (and what they reach). *)
+
+val dot : Vgraph.t -> string
+(** Graphviz digraph (record-shaped nodes, labeled edges). *)
+
+val svg : Vgraph.t -> string
+(** Standalone SVG with a BFS-level column layout. *)

@@ -1,0 +1,10 @@
+(** Interactive HTML rendering — the stand-in for the paper's TypeScript
+    browser front-end. *)
+
+val esc : string -> string
+(** HTML-escape text content. *)
+
+val html : Vgraph.t -> string
+(** A single self-contained HTML page: one card per visible box arranged
+    in BFS-depth columns, inline collapse toggles, anchor links between
+    boxes. No external assets. *)

@@ -1,0 +1,1 @@
+lib/vgraph/json.ml: Buffer Char Float List Printf String

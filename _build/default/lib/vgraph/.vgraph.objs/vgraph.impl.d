@@ -1,0 +1,1 @@
+lib/vgraph/vgraph.ml: Buffer Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/vgraph/vgraph.mli: Hashtbl

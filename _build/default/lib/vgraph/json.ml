@@ -1,0 +1,215 @@
+(** A small JSON implementation (parser + printer).
+
+    Used for pane-session persistence and the GDB-extension/visualizer
+    message protocol. Supports the full JSON grammar except surrogate
+    pairs in \u escapes; numbers are parsed as OCaml floats with an
+    integer fast path. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int n -> string_of_int n
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.17g" f
+  | String s -> Printf.sprintf "\"%s\"" (escape s)
+  | List l -> Printf.sprintf "[%s]" (String.concat "," (List.map to_string l))
+  | Obj kvs ->
+      Printf.sprintf "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (to_string v)) kvs))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+type pstate = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | Some d -> fail "expected %C at offset %d, got %C" c st.pos d
+  | None -> fail "expected %C at end of input" c
+
+let parse_string_body st =
+  (* [pos] is just after the opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; go ()
+        | Some 'u' ->
+            if st.pos + 4 >= String.length st.src then fail "bad \\u escape";
+            let hex = String.sub st.src (st.pos + 1) 4 in
+            let code = int_of_string ("0x" ^ hex) in
+            (* encode as UTF-8 *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            st.pos <- st.pos + 5;
+            go ()
+        | Some c -> Buffer.add_char buf c; st.pos <- st.pos + 1; go ()
+        | None -> fail "unterminated escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '"' ->
+      st.pos <- st.pos + 1;
+      String (parse_string_body st)
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then (st.pos <- st.pos + 1; Obj [])
+      else begin
+        let rec members acc =
+          skip_ws st;
+          expect st '"';
+          let k = parse_string_body st in
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; members ((k, v) :: acc)
+          | Some '}' -> st.pos <- st.pos + 1; List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' at offset %d" st.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then (st.pos <- st.pos + 1; List [])
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.pos <- st.pos + 1; elements (v :: acc)
+          | Some ']' -> st.pos <- st.pos + 1; List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at offset %d" st.pos
+        in
+        List (elements [])
+      end
+  | Some 't' ->
+      if String.length st.src - st.pos >= 4 && String.sub st.src st.pos 4 = "true" then begin
+        st.pos <- st.pos + 4;
+        Bool true
+      end
+      else fail "bad literal at offset %d" st.pos
+  | Some 'f' ->
+      if String.length st.src - st.pos >= 5 && String.sub st.src st.pos 5 = "false" then begin
+        st.pos <- st.pos + 5;
+        Bool false
+      end
+      else fail "bad literal at offset %d" st.pos
+  | Some 'n' ->
+      if String.length st.src - st.pos >= 4 && String.sub st.src st.pos 4 = "null" then begin
+        st.pos <- st.pos + 4;
+        Null
+      end
+      else fail "bad literal at offset %d" st.pos
+  | Some _ ->
+      let start = st.pos in
+      while
+        st.pos < String.length st.src
+        && match st.src.[st.pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false
+      do
+        st.pos <- st.pos + 1
+      done;
+      if st.pos = start then fail "unexpected character at offset %d" start;
+      let lit = String.sub st.src start (st.pos - start) in
+      (match int_of_string_opt lit with
+      | Some n -> Int n
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail "bad number %S" lit))
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail "trailing input at offset %d" st.pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let member_exn key j =
+  match member key j with
+  | Some v -> v
+  | None -> fail "missing member %S" key
+
+let to_int = function Int n -> n | Float f -> int_of_float f | _ -> fail "expected int"
+let to_str = function String s -> s | _ -> fail "expected string"
+let to_list = function List l -> l | _ -> fail "expected list"
+let to_bool = function Bool b -> b | _ -> fail "expected bool"

@@ -1,0 +1,37 @@
+(** A small JSON implementation (parser + printer), used for pane-session
+    persistence and the GDB-extension/visualizer protocol. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Parse_error} with a formatted message. *)
+
+val to_string : t -> string
+(** Compact serialization; strings are escaped per RFC 8259. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing characters. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects too. *)
+
+val member_exn : string -> t -> t
+(** @raise Parse_error when absent. *)
+
+val to_int : t -> int
+(** Accepts [Int] and integral [Float]. @raise Parse_error otherwise. *)
+
+val to_str : t -> string
+val to_list : t -> t list
+val to_bool : t -> bool

@@ -1,0 +1,193 @@
+(** The simplified kernel object graph extracted by ViewCL (§2.2-§2.3 of
+    the paper): vertices are Boxes, edges are Links, each box has one or
+    more named Views of items, and display-control attributes that ViewQL
+    queries update ([view], [trimmed], [collapsed], [direction]). *)
+
+type box_id = int
+
+(** Raw values recorded for ViewQL WHERE filtering. *)
+type fval = Fint of int | Fstr of string | Fbool of bool | Faddr of int
+
+type item =
+  | Text of { label : string; value : string; raw : fval }
+  | Link of { label : string; target : box_id option }
+      (** [None] encodes a NULL link *)
+  | Inline of { label : string; target : box_id }
+      (** a nested box displayed inside this one *)
+
+type direction = Horizontal | Vertical
+
+type attrs = {
+  mutable view : string;
+  mutable trimmed : bool;
+  mutable collapsed : bool;
+  mutable direction : direction;
+  mutable extra : (string * string) list;
+}
+
+let default_attrs () =
+  { view = "default"; trimmed = false; collapsed = false; direction = Horizontal; extra = [] }
+
+type box = {
+  id : box_id;
+  btype : string;  (** C type name ("task_struct"), or "" for virtual boxes *)
+  bdef : string;  (** ViewCL Box definition name ("Task"), "" if anonymous *)
+  addr : int;  (** address of the underlying object; 0 for virtual boxes *)
+  size : int;  (** sizeof the underlying object; 0 for virtual boxes *)
+  container : bool;  (** container boxes hold an ordered member sequence *)
+  mutable views : (string * item list) list;  (** view name -> items *)
+  mutable members : box_id list;  (** members, for containers *)
+  fields : (string, fval) Hashtbl.t;  (** raw values for ViewQL *)
+  attrs : attrs;
+}
+
+type t = {
+  boxes : (box_id, box) Hashtbl.t;
+  mutable roots : box_id list;
+  mutable next_id : int;
+  mutable title : string;
+}
+
+let create ?(title = "plot") () =
+  { boxes = Hashtbl.create 64; roots = []; next_id = 1; title }
+
+let title g = g.title
+let set_title g s = g.title <- s
+
+let add_box g ~btype ~bdef ~addr ~size ~container =
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  let b =
+    { id; btype; bdef; addr; size; container; views = []; members = [];
+      fields = Hashtbl.create 8; attrs = default_attrs () }
+  in
+  Hashtbl.add b.fields "addr" (Faddr addr);
+  Hashtbl.replace g.boxes id b;
+  b
+
+let find g id = Hashtbl.find_opt g.boxes id
+
+let get g id =
+  match find g id with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Vgraph.get: no box %d" id)
+
+let set_root g id = g.roots <- g.roots @ [ id ]
+let roots g = g.roots
+
+let set_view b vname items = b.views <- b.views @ [ (vname, items) ]
+
+let record_field b name v = Hashtbl.replace b.fields name v
+
+let field b name = Hashtbl.find_opt b.fields name
+
+let boxes g = Hashtbl.fold (fun _ b acc -> b :: acc) g.boxes [] |> List.sort (fun a b -> compare a.id b.id)
+
+let box_count g = Hashtbl.length g.boxes
+
+(** Total bytes of underlying kernel objects (for cost-per-KB metrics). *)
+let total_bytes g = List.fold_left (fun acc b -> acc + b.size) 0 (boxes g)
+
+let of_type g ty = List.filter (fun b -> b.btype = ty || b.bdef = ty) (boxes g)
+
+(** Items of the currently selected view (fallback: first view). *)
+let current_items b =
+  match List.assoc_opt b.attrs.view b.views with
+  | Some items -> items
+  | None -> ( match b.views with (_, items) :: _ -> items | [] -> [])
+
+(** Outgoing edges of a box under its current view (links + inlines +
+    container members). *)
+let successors g b =
+  let of_item acc = function
+    | Link { target = Some t; _ } -> t :: acc
+    | Link { target = None; _ } -> acc
+    | Inline { target; _ } -> target :: acc
+    | Text _ -> acc
+  in
+  let from_items = List.fold_left of_item [] (current_items b) in
+  let ms = if b.container then b.members else [] in
+  List.rev_append from_items ms |> List.filter_map (fun id -> find g id) |> List.map (fun b -> b.id)
+
+(** All boxes reachable from [seeds] (inclusive), under current views. *)
+let reachable g seeds =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      match find g id with
+      | Some b -> List.iter go (successors g b)
+      | None -> ()
+    end
+  in
+  List.iter go seeds;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
+
+(** Visible boxes: reachable from roots, not under a trimmed ancestor. *)
+let visible g =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then
+      match find g id with
+      | Some b when not b.attrs.trimmed ->
+          Hashtbl.add seen id ();
+          if not b.attrs.collapsed then List.iter go (successors g b)
+      | Some _ | None -> ()
+  in
+  List.iter go g.roots;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization (for pane persistence and the front-end protocol) *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fval_to_json = function
+  | Fint n -> string_of_int n
+  | Faddr a -> Printf.sprintf "\"0x%x\"" a
+  | Fbool b -> string_of_bool b
+  | Fstr s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let item_to_json = function
+  | Text { label; value; raw } ->
+      Printf.sprintf "{\"kind\":\"text\",\"label\":\"%s\",\"value\":\"%s\",\"raw\":%s}"
+        (json_escape label) (json_escape value) (fval_to_json raw)
+  | Link { label; target } ->
+      Printf.sprintf "{\"kind\":\"link\",\"label\":\"%s\",\"target\":%s}" (json_escape label)
+        (match target with Some t -> string_of_int t | None -> "null")
+  | Inline { label; target } ->
+      Printf.sprintf "{\"kind\":\"inline\",\"label\":\"%s\",\"target\":%d}" (json_escape label)
+        target
+
+let box_to_json b =
+  let views =
+    List.map
+      (fun (vn, items) ->
+        Printf.sprintf "\"%s\":[%s]" (json_escape vn)
+          (String.concat "," (List.map item_to_json items)))
+      b.views
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"type\":\"%s\",\"def\":\"%s\",\"addr\":\"0x%x\",\"container\":%b,\"members\":[%s],\"attrs\":{\"view\":\"%s\",\"trimmed\":%b,\"collapsed\":%b,\"direction\":\"%s\"},\"views\":{%s}}"
+    b.id (json_escape b.btype) (json_escape b.bdef) b.addr b.container
+    (String.concat "," (List.map string_of_int b.members))
+    (json_escape b.attrs.view) b.attrs.trimmed b.attrs.collapsed
+    (match b.attrs.direction with Horizontal -> "horizontal" | Vertical -> "vertical")
+    (String.concat "," views)
+
+let to_json g =
+  Printf.sprintf "{\"title\":\"%s\",\"roots\":[%s],\"boxes\":[%s]}" (json_escape g.title)
+    (String.concat "," (List.map string_of_int g.roots))
+    (String.concat "," (List.map box_to_json (boxes g)))

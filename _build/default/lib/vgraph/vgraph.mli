@@ -1,0 +1,107 @@
+(** The simplified kernel object graph extracted by ViewCL (paper
+    §2.2-§2.3).
+
+    Vertices are {!box}es (each standing for one kernel object, or a
+    virtual/container box), edges are [Link] items; each box carries one
+    or more named {e views} — alternative item layouts — plus the
+    display-control {!attrs} that ViewQL updates ([view] / [trimmed] /
+    [collapsed] / [direction]). *)
+
+type box_id = int
+
+(** Raw values recorded alongside the formatted text of items, used by
+    ViewQL WHERE filtering. *)
+type fval = Fint of int | Fstr of string | Fbool of bool | Faddr of int
+
+(** One item of a view. *)
+type item =
+  | Text of { label : string; value : string; raw : fval }
+      (** a formatted field, e.g. [pid: 42] *)
+  | Link of { label : string; target : box_id option }
+      (** an edge to another box; [None] is a NULL pointer *)
+  | Inline of { label : string; target : box_id }
+      (** a nested box (typically a container) displayed inside this one *)
+
+type direction = Horizontal | Vertical
+
+(** Display attributes, mutated by ViewQL UPDATE. *)
+type attrs = {
+  mutable view : string;  (** which view is displayed (default ["default"]) *)
+  mutable trimmed : bool;  (** removed from display, with its subtree *)
+  mutable collapsed : bool;  (** shown as a click-to-expand stub *)
+  mutable direction : direction;  (** container member flow *)
+  mutable extra : (string * string) list;  (** free-form attributes *)
+}
+
+type box = {
+  id : box_id;
+  btype : string;  (** C type name ("task_struct"); "" for virtual boxes *)
+  bdef : string;  (** ViewCL Box definition name ("Task"); "" if anonymous *)
+  addr : int;  (** address of the underlying object; 0 for virtual boxes *)
+  size : int;  (** sizeof the underlying object; 0 for virtual boxes *)
+  container : bool;  (** container boxes hold an ordered member sequence *)
+  mutable views : (string * item list) list;
+  mutable members : box_id list;
+  fields : (string, fval) Hashtbl.t;
+  attrs : attrs;
+}
+
+type t
+(** A graph: boxes plus the plot roots. *)
+
+val create : ?title:string -> unit -> t
+val title : t -> string
+val set_title : t -> string -> unit
+
+val add_box :
+  t -> btype:string -> bdef:string -> addr:int -> size:int -> container:bool -> box
+(** Allocate a fresh box with a stable id and default attributes. *)
+
+val find : t -> box_id -> box option
+
+val get : t -> box_id -> box
+(** @raise Invalid_argument when the id is unknown. *)
+
+val set_root : t -> box_id -> unit
+(** Append a plot root (one per [plot] statement). *)
+
+val roots : t -> box_id list
+
+val set_view : box -> string -> item list -> unit
+(** [set_view box name items] appends a named view to the box. *)
+
+val record_field : box -> string -> fval -> unit
+(** Record a raw value for ViewQL WHERE filtering. *)
+
+val field : box -> string -> fval option
+
+val boxes : t -> box list
+(** All boxes, in id (construction) order. *)
+
+val box_count : t -> int
+
+val total_bytes : t -> int
+(** Sum of [size] over all boxes — the "KB of data structure" denominator
+    of the paper's Table 4. *)
+
+val of_type : t -> string -> box list
+(** Boxes whose C type or ViewCL definition name matches. *)
+
+val current_items : box -> item list
+(** Items of the currently selected view (first view as fallback). *)
+
+val successors : t -> box -> box_id list
+(** Outgoing edges under the current view: links, inlines, members. *)
+
+val reachable : t -> box_id list -> box_id list
+(** Transitive closure of {!successors} from the seeds (inclusive),
+    sorted. Implements ViewQL's [REACHABLE]. *)
+
+val visible : t -> box_id list
+(** Boxes actually displayed: reachable from the roots under current
+    views, stopping at [trimmed] boxes and below [collapsed] ones. *)
+
+val json_escape : string -> string
+
+val to_json : t -> string
+(** Serialize the whole graph (the vplot wire format). *)

@@ -1,0 +1,1 @@
+lib/viewcl/viewcl.ml: Ast Interp Lexer List Parser String Vgraph

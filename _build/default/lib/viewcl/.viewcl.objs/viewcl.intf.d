@@ -1,0 +1,1 @@
+lib/viewcl/viewcl.mli: Ast Interp Lexer Parser Target Vgraph

@@ -1,0 +1,1 @@
+lib/viewcl/ast.ml: Printf

@@ -1,0 +1,1 @@
+lib/viewcl/interp.ml: Ast Cexpr Char Ctype Hashtbl List Printf String Target Vgraph

@@ -1,0 +1,1 @@
+lib/viewcl/lexer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/viewcl/parser.ml: Ast Buffer Lexer List

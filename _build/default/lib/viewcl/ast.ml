@@ -1,0 +1,52 @@
+(** Abstract syntax of ViewCL (§2.2, Fig. 3 of the paper). *)
+
+type decorator = string list
+(** e.g. [["u64"; "x"]], [["enum"; "maple_type"]], [["flag"; "vm_flags"]] *)
+
+type expr =
+  | Cexpr of string  (** [${...}] — a C expression over the target *)
+  | Ref of string  (** [@name]; [@this] is ["this"] *)
+  | Apply of { name : string; anchor : string option; args : expr list }
+      (** box construction or container constructor:
+          [Task<task_struct.se.run_node>(@node)], [RBTree(@root)] *)
+  | Method of { recv : string; meth : string; args : expr list }
+      (** [Array.selectFrom(@mm_mt, VMArea)] *)
+  | For_each of { src : expr; var : string; body : stmt list }
+      (** [expr.forEach |x| { ... yield ... }] *)
+  | Switch of { scrutinee : expr; cases : (expr list * expr) list; otherwise : expr option }
+  | Anon_box of { items : item list; where : binding list }
+      (** [Box [ ... ] where { ... }] *)
+  | Null_lit
+  | Int_lit of int
+  | Str_lit of string
+
+and stmt = Bind of binding | Yield of expr
+and binding = string * expr
+
+and item =
+  | I_text of { dec : decorator option; specs : text_spec list }
+  | I_link of { label : string; target : expr }
+  | I_container of { label : string; target : expr }
+
+and text_spec = { label : string; source : texpr }
+
+and texpr =
+  | Path of string  (** a dot-path from [@this]: [se.vruntime], [parent.pid] *)
+  | Texpr of expr
+
+type viewdecl = {
+  vname : string;
+  vparent : string option;  (** [:default => :sched] — parent view name *)
+  vitems : item list;
+  vwhere : binding list;
+}
+
+type boxdef = { bname : string; bctype : string; bviews : viewdecl list; bwhere : binding list }
+
+type toplevel = Define of boxdef | Top_bind of binding | Plot of expr
+
+type program = toplevel list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt

@@ -1,0 +1,618 @@
+(** ViewCL interpreter: evaluates a program against a live {!Target},
+    walking the runtime object graph and emitting a {!Vgraph} plot.
+
+    Implements the paper's three simplification operators:
+    - {b prune}: only declared Box items are extracted;
+    - {b flatten}: dot-paths chase pointers across intermediate objects;
+    - {b distill}: container constructors (List, RBTree, Array, XArray,
+      MapleEntries) and converter methods ([Array.selectFrom]) turn linked
+      structures into ordered sequences. *)
+
+open Ast
+
+(** Formatting configuration: bit-flag tables and emoji renderers used by
+    the [flag:<id>] and [emoji:<id>] text decorators (Table 1). *)
+type config = {
+  flags : (string * (int * string) list) list;
+  emojis : (string * (int -> string)) list;
+}
+
+let default_config = { flags = []; emojis = [] }
+
+type value =
+  | Vtgt of Target.value
+  | Vbox of Vgraph.box_id
+  | Vlist of value list
+  | Vnull
+
+type env = (string * value) list
+
+type state = {
+  tgt : Target.t;
+  cfg : config;
+  graph : Vgraph.t;
+  defs : (string, boxdef) Hashtbl.t;
+  memo : (string * int, Vgraph.box_id) Hashtbl.t;  (** (def, addr) -> box *)
+  mutable box_budget : int;
+}
+
+let lookup env name = List.assoc_opt name env
+
+(* ------------------------------------------------------------------ *)
+(* Bridging ViewCL values into C expressions *)
+
+let value_to_target st = function
+  | Vtgt v -> v
+  | Vbox id ->
+      let b = Vgraph.get st.graph id in
+      let ty = if Ctype.is_defined (Target.types st.tgt) b.Vgraph.btype then
+          Ctype.Ptr (Ctype.Named b.Vgraph.btype)
+        else Ctype.voidp
+      in
+      { Target.typ = ty; loc = Target.Rval b.Vgraph.addr }
+  | Vnull -> Target.null_ptr
+  | Vlist _ -> fail "cannot use a container value in a C expression"
+
+let cexpr_env st env name =
+  (* Identifiers written as [@x] inside ${...} resolve through the ViewCL
+     environment. *)
+  if String.length name > 0 && name.[0] = '@' then
+    let n = String.sub name 1 (String.length name - 1) in
+    match lookup env n with
+    | Some v -> Some (value_to_target st v)
+    | None -> fail "unbound ViewCL reference @%s in C expression" n
+  else None
+
+let eval_cexpr st env src =
+  try Vtgt (Cexpr.eval_string ~env:(cexpr_env st env) st.tgt src) with
+  | Cexpr.Parse_error m -> fail "in ${%s}: parse error: %s" src m
+  | Cexpr.Eval_error m -> fail "in ${%s}: %s" src m
+  | Invalid_argument m -> fail "in ${%s}: %s" src m
+
+(* ------------------------------------------------------------------ *)
+(* Value coercions *)
+
+let addr_of_value st v =
+  match v with
+  | Vnull -> 0
+  | Vbox id -> (Vgraph.get st.graph id).Vgraph.addr
+  | Vtgt tv -> (
+      match tv.Target.loc with
+      | Target.Lval a when not (Ctype.is_pointer tv.Target.typ) -> a
+      | _ -> Target.as_int st.tgt tv)
+  | Vlist _ -> fail "container value has no address"
+
+let int_of_value st = function
+  | Vnull -> 0
+  | Vtgt tv -> Target.as_int st.tgt tv
+  | Vbox id -> (Vgraph.get st.graph id).Vgraph.addr
+  | Vlist _ -> fail "container value is not an integer"
+
+let is_null _st = function
+  | Vnull -> true
+  | Vtgt tv -> (
+      match tv.Target.loc with
+      | Target.Rval 0 -> true
+      | Target.Rval _ | Target.Lval _ -> false
+      | Target.Rstr _ -> false)
+  | Vbox _ -> false
+  | Vlist l -> l = []
+
+(* ------------------------------------------------------------------ *)
+(* Text decorators (Table 1) *)
+
+let rec default_format st (tv : Target.value) =
+  let tgt = st.tgt in
+  match tv.Target.loc with
+  | Target.Rstr s -> s
+  | _ -> (
+      match tv.Target.typ with
+      | Ctype.Named n when Ctype.is_defined (Target.types tgt) n
+                           && Ctype.kind_of (Target.types tgt) n = Ctype.Enum_kind ->
+          let v = Target.as_int tgt tv in
+          (match Ctype.enum_name_of (Target.types tgt) n v with
+          | Some name -> name
+          | None -> string_of_int v)
+      | Ctype.Array (Ctype.Int { ik_size = 1; _ }, _) -> Target.as_string tgt tv
+      | Ctype.Bool -> if Target.as_int tgt tv <> 0 then "true" else "false"
+      | Ctype.Ptr (Ctype.Func _) -> format_fptr st (Target.as_int tgt tv)
+      | Ctype.Ptr _ ->
+          let a = Target.as_int tgt tv in
+          if a = 0 then "NULL" else Printf.sprintf "0x%x" a
+      | _ -> string_of_int (Target.as_int tgt tv))
+
+and format_fptr st a =
+  if a = 0 then "NULL"
+  else
+    match Target.lookup_helper st.tgt "func_name" with
+    | Some h -> (
+        match (h st.tgt [ Target.int_value a ]).Target.loc with
+        | Target.Rstr s -> s
+        | _ -> Printf.sprintf "0x%x" a)
+    | None -> Printf.sprintf "0x%x" a
+
+let format_flags st table_name v =
+  match List.assoc_opt table_name st.cfg.flags with
+  | None -> Printf.sprintf "0x%x" v
+  | Some table ->
+      let names = List.filter_map (fun (bit, n) -> if v land bit <> 0 then Some n else None) table in
+      if names = [] then "0" else String.concat "|" names
+
+let format_emoji st id v =
+  match List.assoc_opt id st.cfg.emojis with
+  | Some f -> f v
+  | None -> string_of_int v
+
+(** Format a target value under a decorator; also returns the raw fval
+    recorded for ViewQL. *)
+let format_value st dec (tv : Target.value) : string * Vgraph.fval =
+  let tgt = st.tgt in
+  let as_i () = Target.as_int tgt tv in
+  match dec with
+  | None -> (
+      let s = default_format st tv in
+      match tv.Target.loc with
+      | Target.Rstr str -> (s, Vgraph.Fstr str)
+      | _ -> (
+          match tv.Target.typ with
+          | Ctype.Ptr _ -> (s, Vgraph.Faddr (as_i ()))
+          | Ctype.Array (Ctype.Int { ik_size = 1; _ }, _) -> (s, Vgraph.Fstr s)
+          | Ctype.Bool -> (s, Vgraph.Fbool (as_i () <> 0))
+          | Ctype.Named _ -> (s, Vgraph.Fstr s)
+          | _ -> (s, Vgraph.Fint (as_i ()))))
+  | Some parts -> (
+      match parts with
+      | [ "string" ] ->
+          let s = Target.as_string tgt tv in
+          (s, Vgraph.Fstr s)
+      | [ "bool" ] ->
+          let b = Target.truthy tgt tv in
+          ((if b then "true" else "false"), Vgraph.Fbool b)
+      | [ "char" ] ->
+          let c = as_i () land 0xff in
+          (Printf.sprintf "%C" (Char.chr c), Vgraph.Fint c)
+      | [ "raw_ptr" ] -> (Printf.sprintf "0x%x" (as_i ()), Vgraph.Faddr (as_i ()))
+      | [ "fptr" ] ->
+          let a = as_i () in
+          (format_fptr st a, Vgraph.Faddr a)
+      | [ "enum"; ty ] -> (
+          let v = as_i () in
+          match Ctype.enum_name_of (Target.types tgt) ty v with
+          | Some n -> (n, Vgraph.Fstr n)
+          | None -> (string_of_int v, Vgraph.Fint v))
+      | [ "flag"; table ] ->
+          let v = as_i () in
+          (format_flags st table v, Vgraph.Fint v)
+      | [ "emoji"; id ] ->
+          let v = as_i () in
+          (format_emoji st id v, Vgraph.Fint v)
+      | [ ik ] | [ ik; "d" ] when String.length ik > 0 ->
+          let v = as_i () in
+          (string_of_int v, Vgraph.Fint v)
+      | [ _; "x" ] ->
+          let v = as_i () in
+          (Printf.sprintf "0x%x" v, Vgraph.Fint v)
+      | [ _; "o" ] ->
+          let v = as_i () in
+          (Printf.sprintf "0o%o" v, Vgraph.Fint v)
+      | [ _; "b" ] ->
+          let v = as_i () in
+          let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (string_of_int (v land 1) ^ acc) in
+          ((if v = 0 then "0b0" else "0b" ^ bits v ""), Vgraph.Fint v)
+      | parts -> fail "unknown text decorator <%s>" (String.concat ":" parts))
+
+(* ------------------------------------------------------------------ *)
+(* Containers *)
+
+let iter_list st head_v =
+  (* [head_v]: lvalue of (or pointer to) a list_head; yields node addrs. *)
+  let tgt = st.tgt in
+  let head =
+    match head_v.Target.typ with
+    | Ctype.Ptr _ -> Target.as_int tgt head_v
+    | _ -> Target.addr_of head_v
+  in
+  let next a = Target.as_int tgt (Target.member tgt (Target.obj (Ctype.Named "list_head") a) "next") in
+  let rec go a acc n =
+    if a = head || a = 0 || n > 100000 then List.rev acc
+    else go (next a) (Vtgt (Target.ptr_to (Ctype.Named "list_head") a) :: acc) (n + 1)
+  in
+  go (next head) [] 0
+
+let iter_hlist st head_v =
+  let tgt = st.tgt in
+  let head =
+    match head_v.Target.typ with
+    | Ctype.Ptr _ -> Target.as_int tgt head_v
+    | _ -> Target.addr_of head_v
+  in
+  let first = Target.as_int tgt (Target.member tgt (Target.obj (Ctype.Named "hlist_head") head) "first") in
+  let next a = Target.as_int tgt (Target.member tgt (Target.obj (Ctype.Named "hlist_node") a) "next") in
+  let rec go a acc =
+    if a = 0 then List.rev acc
+    else go (next a) (Vtgt (Target.ptr_to (Ctype.Named "hlist_node") a) :: acc)
+  in
+  go first []
+
+let iter_rbtree st root_v =
+  (* Accepts rb_root, rb_root_cached, or pointers to either. *)
+  let tgt = st.tgt in
+  let v = match root_v.Target.typ with Ctype.Ptr _ -> Target.deref tgt root_v | _ -> root_v in
+  let root =
+    match v.Target.typ with
+    | Ctype.Named "rb_root_cached" -> Target.member tgt v "rb_root"
+    | _ -> v
+  in
+  let node a = Target.obj (Ctype.Named "rb_node") a in
+  let get f a = Target.as_int tgt (Target.member tgt (node a) f) in
+  let rec inorder a acc =
+    if a = 0 then acc
+    else inorder (get "rb_left" a) (Vtgt (Target.ptr_to (Ctype.Named "rb_node") a) :: inorder (get "rb_right" a) acc)
+  in
+  let top = Target.as_int tgt (Target.member tgt root "rb_node") in
+  inorder top []
+
+let iter_array st args =
+  let tgt = st.tgt in
+  match args with
+  | [ arr ] -> (
+      match arr with
+      | Vtgt ({ Target.typ = Ctype.Array (elt, n); _ } as tv) ->
+          List.init n (fun i -> Vtgt (Target.load tgt (Target.index tgt tv i)))
+          |> List.map (fun v -> (v, elt))
+          |> List.map fst
+      | _ -> fail "Array(..) expects an array lvalue (or Array(ptr, count))")
+  | [ ptr; count ] -> (
+      let n = int_of_value st count in
+      match ptr with
+      | Vtgt tv when Ctype.is_pointer tv.Target.typ ->
+          List.init n (fun i -> Vtgt (Target.load tgt (Target.index tgt tv i)))
+      | _ -> fail "Array(ptr, count) expects a pointer")
+  | _ -> fail "Array takes 1 or 2 arguments"
+
+let iter_xarray st xa_v =
+  (* Yields entry values of an xarray, in index order. *)
+  let tgt = st.tgt in
+  let xa = match xa_v.Target.typ with Ctype.Ptr _ -> Target.deref tgt xa_v | _ -> xa_v in
+  let head = Target.as_int tgt (Target.member tgt xa "xa_head") in
+  let is_node e = e land 3 = 2 && e > 4096 in
+  let acc = ref [] in
+  let rec walk e =
+    if e <> 0 then
+      if not (is_node e) then acc := Vtgt (Target.ptr_to Ctype.Void e) :: !acc
+      else begin
+        let n = Target.obj (Ctype.Named "xa_node") (e land lnot 3) in
+        let shift = Target.as_int tgt (Target.member tgt n "shift") in
+        let slots = Target.member tgt n "slots" in
+        for i = 0 to 63 do
+          let child = Target.as_int tgt (Target.load tgt (Target.index tgt slots i)) in
+          if child <> 0 then if shift = 0 then acc := Vtgt (Target.ptr_to Ctype.Void child) :: !acc else walk child
+        done
+      end
+  in
+  walk head;
+  List.rev !acc
+
+let iter_maple st mt_v =
+  (* Yields the non-NULL leaf entries of a maple tree, in range order:
+     reads pivots and slots from the real nodes via the target. *)
+  let tgt = st.tgt in
+  let mt = match mt_v.Target.typ with Ctype.Ptr _ -> Target.deref tgt mt_v | _ -> mt_v in
+  let root = Target.as_int tgt (Target.member tgt mt "ma_root") in
+  let mt_max = (1 lsl 56) - 1 in
+  let is_node e = e land 2 <> 0 && e > 4096 in
+  let to_node e = e land lnot 0xff in
+  let node_type e = (e lsr 3) land 0xf in
+  let acc = ref [] in
+  let rec descend enc node_min node_max =
+    let leaf = node_type enc = 1 in
+    let node = Target.obj (Ctype.Named "maple_node") (to_node enc) in
+    let sub = Target.member tgt node (if leaf then "mr64" else "ma64") in
+    let pivots = Target.member tgt sub "pivot" in
+    let slots = Target.member tgt sub "slot" in
+    let nslots = if leaf then 16 else 10 in
+    let rec go i lo =
+      if i < nslots && lo <= node_max then begin
+        let hi =
+          if i >= nslots - 1 then node_max
+          else
+            let p = Target.as_int tgt (Target.load tgt (Target.index tgt pivots i)) in
+            if p = 0 then node_max else p
+        in
+        let v = Target.as_int tgt (Target.load tgt (Target.index tgt slots i)) in
+        (if leaf then (if v <> 0 then acc := Vtgt (Target.ptr_to Ctype.Void v) :: !acc)
+         else if is_node v then descend v lo hi);
+        if hi < node_max then go (i + 1) (hi + 1)
+      end
+    in
+    go 0 node_min
+  in
+  if root <> 0 then
+    if is_node root then descend root 0 mt_max
+    else acc := [ Vtgt (Target.ptr_to Ctype.Void root) ];
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Core evaluation *)
+
+let max_boxes = 20_000
+
+let rec eval st env e : value =
+  match e with
+  | Cexpr src -> eval_cexpr st env src
+  | Ref name -> (
+      match lookup env name with
+      | Some v -> v
+      | None -> fail "unbound reference @%s" name)
+  | Null_lit -> Vnull
+  | Int_lit n -> Vtgt (Target.int_value n)
+  | Str_lit s -> Vtgt (Target.str_value s)
+  | Switch { scrutinee; cases; otherwise } -> (
+      let sv = eval st env scrutinee in
+      let matches case_v =
+        match (sv, case_v) with
+        | Vtgt { Target.loc = Target.Rstr a; _ }, Vtgt { Target.loc = Target.Rstr b; _ } -> a = b
+        | a, b -> int_of_value st a = int_of_value st b
+      in
+      let rec try_cases = function
+        | [] -> (
+            match otherwise with
+            | Some e -> eval st env e
+            | None -> Vnull)
+        | (labels, body) :: rest ->
+            if List.exists (fun l -> matches (eval st env l)) labels then eval st env body
+            else try_cases rest
+      in
+      try_cases cases)
+  | For_each { src; var; body } ->
+      let elems = eval_iterable st env src in
+      let members =
+        List.concat_map
+          (fun elem ->
+            let env = (var, elem) :: env in
+            let _, yields =
+              List.fold_left
+                (fun (env, acc) stmt ->
+                  match stmt with
+                  | Bind (n, e) -> ((n, eval st env e) :: env, acc)
+                  | Yield e -> (env, eval st env e :: acc))
+                (env, []) body
+            in
+            List.rev yields)
+          elems
+      in
+      make_container st (container_label src) members
+  | Apply { name; anchor; args } -> eval_apply st env name anchor args
+  | Method { recv = "Array"; meth = "selectFrom"; args } -> (
+      match args with
+      | [ src; Str_lit def ] ->
+          let srcv = eval st env src in
+          let seeds = match srcv with Vbox id -> [ id ] | _ -> fail "selectFrom expects a box" in
+          let ids = Vgraph.reachable st.graph seeds in
+          let members =
+            List.filter_map
+              (fun id ->
+                let b = Vgraph.get st.graph id in
+                if b.Vgraph.bdef = def then Some (Vbox id) else None)
+              ids
+          in
+          make_container st "Array" members
+      | _ -> fail "Array.selectFrom(box, BoxDef)")
+  | Method { recv; meth; _ } -> fail "unknown method %s.%s" recv meth
+  | Anon_box { items; where } ->
+      let this = match lookup env "this" with Some v -> v | None -> Vnull in
+      build_box st env ~bdef:"" ~btype:"" ~addr:(match this with Vnull -> 0 | v -> addr_of_value st v)
+        ~views:[ { vname = "default"; vparent = None; vitems = items; vwhere = [] } ]
+        ~bwhere:where
+
+and container_label = function
+  | Apply { name; _ } -> name
+  | Method { recv; _ } -> recv
+  | Cexpr _ -> "Array"
+  | _ -> "Container"
+
+and eval_iterable st env e : value list =
+  match e with
+  | Apply { name = "List"; args; _ } -> iter_list st (target_arg st env args)
+  | Apply { name = "HList"; args; _ } -> iter_hlist st (target_arg st env args)
+  | Apply { name = "RBTree"; args; _ } -> iter_rbtree st (target_arg st env args)
+  | Apply { name = "XArray"; args; _ } -> iter_xarray st (target_arg st env args)
+  | Apply { name = "MapleEntries"; args; _ } -> iter_maple st (target_arg st env args)
+  | Apply { name = "Array"; args; _ } -> iter_array st (List.map (eval st env) args)
+  | Apply { name = "Range"; args = [ a; b ]; _ } ->
+      let lo = int_of_value st (eval st env a) and hi = int_of_value st (eval st env b) in
+      List.init (max 0 (hi - lo)) (fun i -> Vtgt (Target.int_value (lo + i)))
+  | _ -> (
+      match eval st env e with
+      | Vlist l -> l
+      | Vbox id -> List.map (fun m -> Vbox m) (Vgraph.get st.graph id).Vgraph.members
+      | v -> fail "cannot iterate over %s" (value_kind v))
+
+and value_kind = function
+  | Vtgt _ -> "a C value"
+  | Vbox _ -> "a box"
+  | Vlist _ -> "a container"
+  | Vnull -> "NULL"
+
+and target_arg st env args =
+  match args with
+  | [ a ] -> (
+      match eval st env a with
+      | Vtgt tv -> tv
+      | Vnull -> Target.null_ptr
+      | v -> fail "container constructor expects a C value, got %s" (value_kind v))
+  | _ -> fail "container constructor expects one argument"
+
+and make_container st label members =
+  let ids =
+    List.filter_map
+      (function
+        | Vbox id -> Some id
+        | Vnull -> None
+        | Vtgt tv when (match tv.Target.loc with Target.Rval 0 -> true | _ -> false) -> None
+        | v -> fail "yield produced %s, expected a box" (value_kind v))
+      members
+  in
+  let b = Vgraph.add_box st.graph ~btype:label ~bdef:"" ~addr:0 ~size:0 ~container:true in
+  b.Vgraph.members <- ids;
+  Vgraph.set_view b "default" [];
+  Vbox b.Vgraph.id
+
+and eval_apply st env name anchor args =
+  match Hashtbl.find_opt st.defs name with
+  | Some def -> (
+      (* Box construction. *)
+      let argv = match args with [ a ] -> eval st env a | _ -> fail "%s(expr) takes one argument" name in
+      if is_null st argv then Vnull
+      else begin
+        let addr = addr_of_value st argv in
+        let addr =
+          match anchor with
+          | None -> addr
+          | Some path ->
+              (* container_of through the anchor path *)
+              let comp, rest =
+                match String.index_opt path '.' with
+                | Some i -> (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
+                | None -> fail "anchor %S must be type.field" path
+              in
+              addr - Ctype.offsetof (Target.types st.tgt) comp rest
+        in
+        match Hashtbl.find_opt st.memo (name, addr) with
+        | Some id -> Vbox id
+        | None ->
+            let this = Vtgt (Target.obj (Ctype.Named def.bctype) addr) in
+            build_box st (("this", this) :: env) ~bdef:name ~btype:def.bctype ~addr
+              ~views:def.bviews ~bwhere:def.bwhere
+      end)
+  | None -> (
+      (* Bare container constructors used without forEach: produce a plain
+         container of raw entries is meaningless; treat as error except for
+         known iterables which someone may bind then forEach later. *)
+      match name with
+      | "List" | "HList" | "RBTree" | "Array" | "XArray" | "MapleEntries" | "Range" ->
+          Vlist (eval_iterable st env (Apply { name; anchor; args }))
+      | _ -> fail "unknown box definition or container %S" name)
+
+and effective_items def_views vname =
+  (* Resolve view inheritance: parent items first. *)
+  let rec items_of vname seen =
+    if List.mem vname seen then fail "view inheritance cycle at :%s" vname;
+    match List.find_opt (fun v -> v.vname = vname) def_views with
+    | None -> fail "no view :%s" vname
+    | Some v -> (
+        let own = (v.vitems, v.vwhere) in
+        match v.vparent with
+        | None -> [ own ]
+        | Some p -> items_of p (vname :: seen) @ [ own ])
+  in
+  items_of vname []
+
+and build_box st env ~bdef ~btype ~addr ~views ~bwhere =
+  if st.box_budget <= 0 then fail "plot exceeds %d boxes; refine the ViewCL program" max_boxes;
+  st.box_budget <- st.box_budget - 1;
+  let size =
+    if btype <> "" && Ctype.is_defined (Target.types st.tgt) btype then
+      Ctype.sizeof (Target.types st.tgt) (Ctype.Named btype)
+    else 0
+  in
+  let b = Vgraph.add_box st.graph ~btype ~bdef ~addr ~size ~container:false in
+  if bdef <> "" then Hashtbl.replace st.memo (bdef, addr) b.Vgraph.id;
+  (* box-level where bindings *)
+  let env = eval_bindings st env bwhere in
+  (* Each declared view gets its items (inherited views prepended). *)
+  List.iter
+    (fun v ->
+      let chains = effective_items views v.vname in
+      let items =
+        List.concat_map
+          (fun (vitems, vwhere) ->
+            let venv = eval_bindings st env vwhere in
+            List.concat_map (eval_item st venv b) vitems)
+          chains
+      in
+      Vgraph.set_view b v.vname items)
+    views;
+  Vbox b.Vgraph.id
+
+and eval_bindings st env bindings =
+  List.fold_left (fun env (n, e) -> (n, eval st env e) :: env) env bindings
+
+and eval_item st env box it : Vgraph.item list =
+  let this () =
+    match lookup env "this" with
+    | Some (Vtgt tv) -> tv
+    | _ -> fail "no @this in scope for a path item"
+  in
+  match it with
+  | I_text { dec; specs } ->
+      List.map
+        (fun { label; source } ->
+          let tv =
+            match source with
+            | Path p -> Target.load st.tgt (Target.member_path st.tgt (this ()) p)
+            | Texpr e -> (
+                match eval st env e with
+                | Vtgt tv -> tv
+                | Vnull -> Target.null_ptr
+                | Vbox id -> Target.int_value (Vgraph.get st.graph id).Vgraph.addr
+                | Vlist _ -> fail "Text cannot display a container")
+          in
+          let text, raw = format_value st dec tv in
+          Vgraph.record_field box label raw;
+          Vgraph.Text { label; value = text; raw })
+        specs
+  | I_link { label; target } -> (
+      match eval st env target with
+      | Vnull ->
+          Vgraph.record_field box label (Vgraph.Faddr 0);
+          [ Vgraph.Link { label; target = None } ]
+      | Vbox id ->
+          Vgraph.record_field box label (Vgraph.Faddr (Vgraph.get st.graph id).Vgraph.addr);
+          [ Vgraph.Link { label; target = Some id } ]
+      | Vtgt tv when (match tv.Target.loc with Target.Rval 0 -> true | _ -> false) ->
+          Vgraph.record_field box label (Vgraph.Faddr 0);
+          [ Vgraph.Link { label; target = None } ]
+      | Vtgt _ -> fail "Link %s must point at a box (or NULL)" label
+      | Vlist _ -> fail "Link %s points at a container; use Container" label)
+  | I_container { label; target } -> (
+      match eval st env target with
+      | Vbox id -> [ Vgraph.Inline { label; target = id } ]
+      | Vlist members -> (
+          match make_container st "Array" members with
+          | Vbox id -> [ Vgraph.Inline { label; target = id } ]
+          | _ -> assert false)
+      | Vnull -> [ Vgraph.Text { label; value = "(empty)"; raw = Vgraph.Fstr "" } ]
+      | Vtgt _ -> fail "Container %s expects a container value" label)
+
+(* ------------------------------------------------------------------ *)
+(* Program execution *)
+
+type result = { graph : Vgraph.t; plots : Vgraph.box_id list }
+
+let run_exn ?(cfg = default_config) ?(defs = []) tgt program =
+  let st =
+    { tgt; cfg; graph = Vgraph.create (); defs = Hashtbl.create 32; memo = Hashtbl.create 256;
+      box_budget = max_boxes }
+  in
+  List.iter (fun d -> Hashtbl.replace st.defs d.bname d) defs;
+  let env = ref [] in
+  let plots = ref [] in
+  List.iter
+    (function
+      | Define d -> Hashtbl.replace st.defs d.bname d
+      | Top_bind (n, e) -> env := (n, eval st !env e) :: !env
+      | Plot e -> (
+          match eval st !env e with
+          | Vbox id ->
+              Vgraph.set_root st.graph id;
+              plots := id :: !plots
+          | Vnull -> ()
+          | v -> fail "plot expects a box, got %s" (value_kind v)))
+    program;
+  { graph = st.graph; plots = List.rev !plots }
+
+(* Surface target-layer failures (bad member paths, derefs, ...) as
+   ViewCL errors. *)
+let run ?cfg ?defs tgt program =
+  try run_exn ?cfg ?defs tgt program with Invalid_argument m -> fail "%s" m

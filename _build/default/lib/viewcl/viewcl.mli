@@ -1,0 +1,61 @@
+(** ViewCL — the View Construction Language (paper §2.2).
+
+    Programs are lists of [define]d Box types, top-level bindings and
+    [plot] statements:
+
+    {v
+    define Task as Box<task_struct> {
+      :default [ Text pid, comm ]
+      :default => :sched [ Text se.vruntime ]     // view inheritance
+    } where { ... }
+
+    root = ${&cpu_rq(0)->cfs.tasks_timeline}      // ${...}: C expression
+    tree = RBTree(@root).forEach |node| {         // container + closure
+      yield Task<task_struct.se.run_node>(@node)  // anchored: container_of
+    }
+    plot @tree
+    v}
+
+    The three simplification operators of §2.1 appear as: {e prune} — a
+    Box declares exactly the items to keep; {e flatten} — dot-paths
+    ([parent.pid]) chase pointers across intermediate objects; {e distill}
+    — container constructors ([List], [HList], [RBTree], [Array],
+    [XArray], [MapleEntries], [Range]) and the converter
+    [Array.selectFrom(box, Def)] turn linked structures into ordered
+    sequences. [switch ${e} { case ${v}: ... otherwise: ... }] handles
+    unions and polymorphic pointers; Text decorators (Table 1) control
+    formatting ([<u64:x>], [<string>], [<enum:t>], [<flag:id>], [<fptr>],
+    [<emoji:id>], ...). *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Interp = Interp
+
+exception Error of string
+(** Raised by {!parse} and {!run} on any lexical, syntactic or evaluation
+    failure (same exception as [Ast.Error]). *)
+
+(** Formatting configuration for the [flag:<id>] and [emoji:<id>]
+    decorators. *)
+type config = Interp.config = {
+  flags : (string * (int * string) list) list;
+  emojis : (string * (int -> string)) list;
+}
+
+val default_config : config
+
+val parse : string -> Ast.program
+(** @raise Error on malformed input. *)
+
+type result = Interp.result = { graph : Vgraph.t; plots : Vgraph.box_id list }
+
+val run : ?cfg:config -> ?prelude:Ast.program list -> Target.t -> string -> result
+(** Evaluate a program against a live target. [prelude] supplies
+    predefined Box definitions. Box construction is memoized per
+    (definition, address), so shared objects become shared boxes and
+    cyclic structures terminate. @raise Error on failure. *)
+
+val loc_of : string -> int
+(** Non-blank, non-comment source lines — the paper's Table 2 LoC
+    metric. *)

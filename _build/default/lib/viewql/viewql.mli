@@ -1,0 +1,80 @@
+(** ViewQL — the View Query Language (paper §2.3).
+
+    An SQL-like language over an extracted {!Vgraph.t}, deliberately
+    limited (no nested queries) so it stays synthesizable from natural
+    language:
+
+    {v
+    name = SELECT <type>[.field] FROM <source> [AS alias] [WHERE cond]
+    UPDATE <set-expression> WITH attr: value [, attr: value]*
+    v}
+
+    - [source] is [*] (all boxes), a named set, [REACHABLE(set)] (link
+      closure) or [IS_INSIDE(set)] (containment closure).
+    - [type.field] / [type->field] project onto the boxes referenced by
+      item [field] of each selected box.
+    - conditions compare recorded member values ([pid == 2], [mm != NULL],
+      [is_writable == true]) with [AND]/[OR]; an [AS] alias (or the type
+      name itself) compares the box's own address.
+    - set expressions combine named sets with [\ ] (difference), [&] /
+      [INTERSECT], and [|] / [UNION].
+    - attributes: [view], [trimmed], [collapsed], [shrinked] (alias of
+      collapsed), [direction]; anything else lands in [attrs.extra]. *)
+
+exception Error of string
+
+(** {1 Abstract syntax} *)
+
+type value = Vint of int | Vstr of string | Vbool of bool | Vnull
+type cmp = Eq | Ne | Lt | Gt | Le | Ge
+
+type cond = Cmp of string * cmp * value | And of cond * cond | Or of cond * cond
+
+type set_expr =
+  | Named of string
+  | Diff of set_expr * set_expr
+  | Inter of set_expr * set_expr
+  | Union of set_expr * set_expr
+
+type source =
+  | All
+  | From_set of set_expr
+  | Reachable of set_expr
+  | Is_inside of set_expr
+
+type select_spec = {
+  bind : string;
+  sel_type : string;
+  sel_field : string option;
+  src : source;
+  alias : string option;
+  where : cond option;
+}
+
+type stmt =
+  | Select of select_spec
+  | Update of { target : set_expr; attrs : (string * string) list }
+
+type program = stmt list
+
+val parse : string -> program
+(** @raise Error on malformed input. [//] and [--] comments allowed. *)
+
+(** {1 Execution} *)
+
+type session
+(** Holds the named result sets of previous SELECTs, so follow-up
+    programs can refine earlier selections interactively. *)
+
+val make_session : Vgraph.t -> session
+val eval_set : session -> set_expr -> Vgraph.box_id list
+val select_boxes : session -> select_spec -> Vgraph.box_id list
+
+val exec_program : session -> program -> int
+(** Execute; returns the number of box updates applied. *)
+
+val exec : session -> string -> int
+(** [parse] + {!exec_program}. *)
+
+val run : Vgraph.t -> string -> session * int
+(** One-shot: fresh session, execute, return it for later refinement. *)

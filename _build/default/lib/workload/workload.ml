@@ -1,0 +1,200 @@
+(** The evaluation workload of the paper (§5.4): five processes, each with
+    two extra threads, repeatedly performing IPC, mapping and unmapping
+    files and anonymous pages — plus population of every other subsystem
+    visualized in Table 2 (sockets, pipes, timers, IRQs, workqueues, swap
+    areas, devices, slab caches), so that all figures have realistic
+    content.
+
+    Deterministic: a seeded xorshift PRNG drives all choices. *)
+
+type t = {
+  kernel : Kstate.t;
+  mutable procs : (Kmem.addr * Kmem.addr list) list;  (** leader, threads *)
+  mutable pipes : Kmem.addr list;
+  mutable files : (int * Kmem.addr) list;
+  mutable rng : int;
+}
+
+let rand t n =
+  (* xorshift64* *)
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  t.rng <- x land max_int;
+  t.rng mod n
+
+let create ?(seed = 42) kernel = { kernel; procs = []; pipes = []; files = []; rng = seed + 1 }
+
+(* Map bases spread per process so VMAs don't collide. *)
+let anon_base pid slot = 0x0000_5500_0000_0000 + (pid * 0x1000_0000) + (slot * 0x10_0000)
+
+(** Boot-time population: kernel threads, devices, IRQs, timers,
+    workqueues, swap, IPC objects. *)
+let populate_system t =
+  let k = t.kernel in
+  let ctx = k.Kstate.ctx in
+  ignore ctx;
+  (* Kernel threads that exist on any Linux box. *)
+  List.iteri
+    (fun i comm -> ignore (Ksyscall.spawn_kthread k ~comm ~cpu:(i mod k.Kstate.ncpus)))
+    [ "kthreadd"; "rcu_gp"; "ksoftirqd/0"; "kworker/0:1"; "kworker/1:0"; "kswapd0" ];
+  (* IRQs *)
+  ignore (Kirq.set_chip k.Kstate.irqs ~irq:1 ~chip_name:"IO-APIC");
+  ignore (Kirq.request_irq k.Kstate.irqs ~irq:1 ~name:"i8042" ~handler:"atkbd_interrupt");
+  ignore (Kirq.set_chip k.Kstate.irqs ~irq:4 ~chip_name:"IO-APIC");
+  ignore (Kirq.request_irq k.Kstate.irqs ~irq:4 ~name:"ttyS0" ~handler:"serial8250_interrupt");
+  ignore (Kirq.request_irq k.Kstate.irqs ~irq:4 ~name:"serial" ~handler:"serial_shared_irq");
+  ignore (Kirq.set_chip k.Kstate.irqs ~irq:11 ~chip_name:"PCI-MSI");
+  ignore (Kirq.request_irq k.Kstate.irqs ~irq:11 ~name:"virtio0" ~handler:"vring_interrupt");
+  (* Timers *)
+  List.iter
+    (fun (cpu, delta, fn) -> ignore (Ktimer.add_timer k.Kstate.timers ~cpu ~delta fn))
+    [ (0, 10, "process_timeout"); (0, 250, "delayed_work_timer_fn"); (0, 999, "tcp_keepalive_timer");
+      (1, 100, "process_timeout"); (1, 512, "neigh_timer_handler") ];
+  (* Workqueues, incl. the paper's heterogeneous mm_percpu_wq. *)
+  let mm_wq = Kworkqueue.alloc_workqueue k.Kstate.wq "mm_percpu_wq" in
+  ignore (Kworkqueue.alloc_workqueue k.Kstate.wq "events");
+  ignore (Kworkqueue.alloc_workqueue k.Kstate.wq "kblockd");
+  ignore mm_wq;
+  let vw = Kworkqueue.new_vmstat_work k.Kstate.wq ~cpu:0 ~interval:100 in
+  Kworkqueue.queue_work k.Kstate.wq ~cpu:0
+    (Kcontext.fld k.Kstate.ctx vw "vmstat_work_s" "work.work");
+  let lw = Kworkqueue.new_lru_drain_work k.Kstate.wq ~cpu:0 in
+  Kworkqueue.queue_work k.Kstate.wq ~cpu:0 (Kcontext.fld k.Kstate.ctx lw "lru_drain_work_s" "work");
+  let cw = Kworkqueue.new_compact_work k.Kstate.wq ~zone:k.Kstate.buddy.Kbuddy.zone ~order:2 in
+  Kworkqueue.queue_work k.Kstate.wq ~cpu:0 (Kcontext.fld k.Kstate.ctx cw "mm_compact_work_s" "work");
+  (* Swap *)
+  let swap_dentry = Kvfs.create_file k.Kstate.vfs ~dir:k.Kstate.root_dentry ~name:"swapfile" ~size:(64 * 4096) in
+  let swap_file = Kvfs.open_dentry k.Kstate.vfs swap_dentry ~flags:2 in
+  ignore (Kswap.swapon k.Kstate.swap ~file:swap_file ~bdev:0 ~pages:64 ~prio:(-2) ~used:13);
+  (* Device model *)
+  let bus = Kobj.new_bus ctx ~name:"virtio" in
+  let drv = Kfuncs.create () |> fun _ -> Kobj.new_driver ctx k.Kstate.funcs ~name:"virtio_blk" ~bus in
+  let dev0 = Kobj.new_device ctx ~name:"virtio0" ~parent:0 ~bus ~driver:drv ~kset:k.Kstate.devices_kset in
+  ignore (Kobj.new_device ctx ~name:"virtio0p1" ~parent:dev0 ~bus ~driver:drv ~kset:k.Kstate.devices_kset);
+  (* IPC objects shared by the worker processes. *)
+  ignore (Kipc.semget k.Kstate.ipc ~key:0x5eed ~nsems:4);
+  ignore (Kipc.msgget k.Kstate.ipc ~key:0x6eed ~qbytes:16384)
+
+(** Spawn the 5 x (1+2) process/thread population. *)
+let spawn_processes t =
+  let k = t.kernel in
+  let init = k.Kstate.init_task in
+  (* pid 1: init/systemd, parent of the workers. *)
+  let systemd = Ksyscall.spawn_process k ~parent:init ~comm:"systemd" ~cpu:0 in
+  for i = 0 to 4 do
+    let cpu = i mod k.Kstate.ncpus in
+    let leader = Ksyscall.spawn_process k ~parent:systemd ~comm:(Printf.sprintf "worker-%d" i) ~cpu in
+    let threads =
+      List.init 2 (fun j ->
+          Ksyscall.spawn_thread k ~leader ~comm:(Printf.sprintf "worker-%d/t%d" i j)
+            ~cpu:((cpu + j) mod k.Kstate.ncpus))
+    in
+    t.procs <- (leader, threads) :: t.procs
+  done;
+  t.procs <- List.rev t.procs;
+  systemd
+
+(** One iteration of the per-thread activity: IPC + file/anon mappings. *)
+let step t =
+  let k = t.kernel in
+  List.iteri
+    (fun i (leader, _threads) ->
+      let pid = Ktask.pid k.Kstate.ctx leader in
+      (* File work: open + mmap + page cache population. *)
+      if rand t 2 = 0 then begin
+        let name = Printf.sprintf "data-%d-%d.bin" i (rand t 100) in
+        let fd, file = Ksyscall.openat k leader ~name ~size:(2 * 4096) in
+        t.files <- (fd, file) :: t.files;
+        ignore
+          (Ksyscall.mmap_file k leader ~file
+             ~start:(anon_base pid (16 + rand t 8))
+             ~npages:2 ~writable:(rand t 2 = 0))
+      end;
+      (* Anonymous mapping churn. *)
+      let vma = Ksyscall.mmap_anon k leader ~start:(anon_base pid (rand t 8)) ~npages:(1 + rand t 4) ~writable:true in
+      if rand t 3 = 0 then Ksyscall.munmap k leader vma;
+      (* IPC. *)
+      (match Kxarray.load k.Kstate.ctx
+               (Kcontext.fld k.Kstate.ctx (Kipc.ids_addr k.Kstate.ipc Kipc.ipc_sem_ids)
+                  "ipc_ids" "ipcs_idr.idr_rt")
+               0
+       with
+      | 0 -> ()
+      | sma -> Kipc.semop k.Kstate.ipc sma ~idx:(rand t 4) ~delta:(if rand t 2 = 0 then 1 else -1) ~pid);
+      (match Kxarray.load k.Kstate.ctx
+               (Kcontext.fld k.Kstate.ctx (Kipc.ids_addr k.Kstate.ipc Kipc.ipc_msg_ids)
+                  "ipc_ids" "ipcs_idr.idr_rt")
+               0
+       with
+      | 0 -> ()
+      | q ->
+          ignore (Kipc.msgsnd k.Kstate.ipc q ~mtype:(1 + rand t 3) ~size:(64 + rand t 192));
+          if rand t 2 = 0 then ignore (Kipc.msgrcv k.Kstate.ipc q)))
+    t.procs
+
+(** Extra population used by specific figures: pipes, sockets, signals. *)
+let populate_userspace t =
+  let k = t.kernel in
+  match t.procs with
+  | [] -> ()
+  | (p0, _) :: rest ->
+      (* A page-cached data file on the first worker (deterministic, so
+         figures that need one always find it). *)
+      ignore (Ksyscall.openat k p0 ~name:"report.txt" ~size:(3 * 4096));
+      (* Pipes on the first worker. *)
+      let pipe, _, _ = Ksyscall.pipe k p0 in
+      Ksyscall.write_pipe k pipe "hello-pipe";
+      t.pipes <- pipe :: t.pipes;
+      (* Sockets on the first two workers. *)
+      ignore (Ksyscall.socket k p0 ~lport:43812 ~rport:443 ~backlog_skbs:2);
+      (match rest with
+      | (p1, _) :: _ ->
+          ignore (Ksyscall.socket k p1 ~lport:51000 ~rport:80 ~backlog_skbs:0);
+          (* Signals: p0 installs handlers; p1 signals p0. *)
+          Ksyscall.sigaction k p0 ~signo:2 ~handler:(`Handler "sigint_handler");
+          Ksyscall.sigaction k p0 ~signo:15 ~handler:(`Handler "sigterm_handler");
+          Ksyscall.sigaction k p0 ~signo:17 ~handler:`Ignore;
+          Ksyscall.kill k ~target:p0 ~signo:2 ~from:p1
+      | [] -> ())
+
+(** Let the simulated kernel "run" for a while: scheduler ticks on every
+    CPU (so vruntimes diverge and preemptions happen), timer-wheel
+    processing, page faults on the workers' heaps, and one worker thread
+    exiting — leaving a reapable zombie so plots show varied task
+    states. *)
+let simulate_time t =
+  let k = t.kernel in
+  let ctx = k.Kstate.ctx in
+  for _ = 1 to 8 do
+    for cpu = 0 to k.Kstate.ncpus - 1 do
+      ignore (Ksched.task_tick ctx (Kstate.rq_of k cpu) ~delta:(500_000 + rand t 1_000_000))
+    done
+  done;
+  ignore (Ktimer.run_timers k.Kstate.timers 16);
+  List.iteri
+    (fun i (leader, threads) ->
+      (* touch the heap: anonymous faults populate the rmap *)
+      ignore
+        (Kmm.handle_anon_fault k.Kstate.mm k.Kstate.buddy (Ksyscall.mm_of k leader)
+           ~va:(Ksyscall.heap_base + (rand t 4 * 4096)));
+      (* the last worker's second thread exits and stays a zombie *)
+      if i = 4 then
+        match threads with
+        | _ :: t2 :: _ -> Ksyscall.exit_task k t2 ~code:0
+        | _ -> ())
+    t.procs
+
+(** Run the full standard workload: boot population, processes, [iters]
+    activity steps, userspace extras, then a stretch of simulated time. *)
+let run ?(iters = 3) t =
+  populate_system t;
+  ignore (spawn_processes t);
+  for _ = 1 to iters do
+    step t
+  done;
+  populate_userspace t;
+  simulate_time t
+
+let leaders t = List.map fst t.procs

@@ -1,0 +1,44 @@
+(** The paper's evaluation workload (§5.4): five processes, each with two
+    extra threads, repeatedly performing IPC and mapping/unmapping files
+    and anonymous pages — plus population of every other subsystem that
+    Table 2 visualizes (IRQs, timers, workqueues, swap, devices, sockets,
+    pipes, signals), so all figures have realistic content.
+
+    Deterministic: a seeded xorshift PRNG drives all choices, so plots,
+    tests and benchmarks are reproducible. *)
+
+type t
+
+val create : ?seed:int -> Kstate.t -> t
+
+val populate_system : t -> unit
+(** Kernel threads, IRQs, timers, workqueues, swap areas, devices, and
+    the shared IPC objects. *)
+
+val spawn_processes : t -> Kmem.addr
+(** systemd (pid 1) plus the 5 x (leader + 2 threads) worker population;
+    returns the systemd task. *)
+
+val step : t -> unit
+(** One iteration of per-process activity: file opens + mmaps, anonymous
+    mapping churn, semaphore and message-queue traffic. *)
+
+val populate_userspace : t -> unit
+(** Pipes, sockets and signal traffic on the first workers (used by the
+    pipe/socket/signal figures). *)
+
+val simulate_time : t -> unit
+(** Scheduler ticks (vruntime divergence + preemptions), timer-wheel
+    processing, heap page faults, and one worker thread exiting as a
+    zombie — so plots show varied, realistic task states. *)
+
+val run : ?iters:int -> t -> unit
+(** The full standard workload: {!populate_system}, {!spawn_processes},
+    [iters] (default 3) {!step}s, {!populate_userspace},
+    {!simulate_time}. *)
+
+val leaders : t -> Kmem.addr list
+(** The five worker group leaders, in spawn order. *)
+
+val rand : t -> int -> int
+(** The workload's deterministic PRNG (exposed for tests). *)

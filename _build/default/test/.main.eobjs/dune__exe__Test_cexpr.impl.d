@@ -1,0 +1,1 @@
+test/test_cexpr.ml: Alcotest Cexpr Ctype Kmem List Printf QCheck QCheck_alcotest Target

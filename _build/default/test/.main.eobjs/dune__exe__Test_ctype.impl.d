@@ -1,0 +1,1 @@
+test/test_ctype.ml: Alcotest Ctype Ktypes List Printf QCheck QCheck_alcotest String

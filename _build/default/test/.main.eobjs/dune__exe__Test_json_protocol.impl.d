@@ -1,0 +1,1 @@
+test/test_json_protocol.ml: Alcotest Json Kstate List Option Panel Printf Protocol QCheck QCheck_alcotest Render_html Scripts String Vgraph Viewcl Visualinux Workload

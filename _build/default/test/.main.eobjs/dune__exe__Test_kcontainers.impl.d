@@ -1,0 +1,1 @@
+test/test_kcontainers.ml: Alcotest Array Hashtbl Kcontext Khlist Klist Kmem Krbtree Kxarray List QCheck QCheck_alcotest

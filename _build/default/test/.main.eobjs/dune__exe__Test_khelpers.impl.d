@@ -1,0 +1,1 @@
+test/test_khelpers.ml: Alcotest Cexpr Ctype Kbuddy Kcontext Kpid Kstate Option String Target Visualinux Workload

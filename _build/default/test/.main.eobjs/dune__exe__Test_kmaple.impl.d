@@ -1,0 +1,1 @@
+test/test_kmaple.ml: Alcotest Gen Kcontext Kmaple Kmem Krcu Kstate List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kmem.ml: Alcotest Gen Kmem List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_render_panel.ml: Alcotest Json List Panel Printf Render String Vgraph

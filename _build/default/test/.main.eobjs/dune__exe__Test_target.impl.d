@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Ctype Kmem Target

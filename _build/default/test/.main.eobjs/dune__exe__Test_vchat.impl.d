@@ -1,0 +1,1 @@
+test/test_vchat.ml: Alcotest Kstate List Objectives Option Panel Printf Scripts String Vchat Vgraph Viewql Visualinux Workload

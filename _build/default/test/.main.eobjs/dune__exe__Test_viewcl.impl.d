@@ -1,0 +1,1 @@
+test/test_viewcl.ml: Alcotest Kcontext Kfuncs Kstate Ksyscall Kvfs List Option Printf String Vgraph Viewcl Visualinux Workload

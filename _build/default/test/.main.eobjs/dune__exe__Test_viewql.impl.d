@@ -1,0 +1,1 @@
+test/test_viewql.ml: Alcotest List Printf QCheck QCheck_alcotest String Vgraph Viewql

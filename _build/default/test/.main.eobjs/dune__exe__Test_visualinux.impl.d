@@ -1,0 +1,1 @@
+test/test_visualinux.ml: Alcotest Kcontext Kmaple Kmem Kmm Kpipe Krcu Kstate Ksyscall Ktypes List Objectives Option Panel Printf Render Scripts String Target Vgraph Viewcl Visualinux Workload

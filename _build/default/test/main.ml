@@ -1,0 +1,18 @@
+(* Test runner: all suites. *)
+
+let () =
+  Alcotest.run "visualinux"
+    [ ("kmem", Test_kmem.suite);
+      ("ctype", Test_ctype.suite);
+      ("target", Test_target.suite);
+      ("cexpr", Test_cexpr.suite);
+      ("kcontainers", Test_kcontainers.suite);
+      ("kmaple", Test_kmaple.suite);
+      ("kernel", Test_kernel.suite);
+      ("khelpers", Test_khelpers.suite);
+      ("viewcl", Test_viewcl.suite);
+      ("viewql", Test_viewql.suite);
+      ("render+panel", Test_render_panel.suite);
+      ("vchat", Test_vchat.suite);
+      ("json+protocol", Test_json_protocol.suite);
+      ("integration", Test_visualinux.suite) ]

@@ -1,0 +1,195 @@
+(* Unit + property tests for the C expression language. *)
+
+let mk_target () =
+  let reg = Ctype.create_registry () in
+  Ctype.define_struct reg "point"
+    [ Ctype.F ("x", Ctype.int); Ctype.F ("y", Ctype.int);
+      Ctype.F ("next", Ctype.Ptr (Ctype.Named "point"));
+      Ctype.F ("name", Ctype.Array (Ctype.char, 8)) ];
+  Ctype.define_enum reg "color" [ ("RED", 0); ("GREEN", 1); ("BLUE", 2) ];
+  let mem = Kmem.create () in
+  let tgt = Target.create mem reg in
+  let p1 = Kmem.alloc mem ~tag:"point" (Ctype.sizeof reg (Ctype.Named "point")) in
+  let p2 = Kmem.alloc mem ~tag:"point" (Ctype.sizeof reg (Ctype.Named "point")) in
+  Kmem.write_u32 mem p1 10;
+  Kmem.write_u32 mem (p1 + 4) 20;
+  Kmem.write_u64 mem (p1 + 8) p2;
+  Kmem.write_cstring mem (p1 + 16) "origin";
+  Kmem.write_u32 mem p2 30;
+  Kmem.write_u32 mem (p2 + 4) 40;
+  Target.add_symbol tgt "origin" (Target.obj (Ctype.Named "point") p1);
+  Target.add_macro tgt "MAGIC" 42;
+  Target.add_helper tgt "double" (fun tgt args ->
+      match args with
+      | [ v ] -> Target.int_value (2 * Target.as_int tgt v)
+      | _ -> invalid_arg "double");
+  (tgt, p1, p2)
+
+let ev tgt s = Target.as_int tgt (Cexpr.eval_string tgt s)
+
+let test_arithmetic () =
+  let tgt, _, _ = mk_target () in
+  List.iter
+    (fun (src, expected) -> Alcotest.(check int) src expected (ev tgt src))
+    [ ("1 + 2 * 3", 7); ("(1 + 2) * 3", 9); ("10 - 4 - 3", 3); ("7 / 2", 3); ("7 % 3", 1);
+      ("-5 + 3", -2); ("1 << 4", 16); ("256 >> 4", 16); ("0xff & 0x0f", 0x0f);
+      ("0xf0 | 0x0f", 0xff); ("0xff ^ 0x0f", 0xf0); ("~0 & 0xff", 0xff);
+      ("1 < 2", 1); ("2 <= 2", 1); ("3 > 4", 0); ("3 != 4", 1); ("3 == 3", 1);
+      ("1 && 0", 0); ("1 || 0", 1); ("!0", 1); ("!5", 0);
+      ("1 ? 10 : 20", 10); ("0 ? 10 : 20", 20); ("1 ? 2 ? 3 : 4 : 5", 3) ]
+
+let test_members () =
+  let tgt, p1, p2 = mk_target () in
+  Alcotest.(check int) "x" 10 (ev tgt "origin.x");
+  Alcotest.(check int) "next->y" 40 (ev tgt "origin.next->y");
+  Alcotest.(check int) "&origin" p1 (ev tgt "&origin");
+  Alcotest.(check int) "&origin.y" (p1 + 4) (ev tgt "&origin.y");
+  Alcotest.(check int) "deref" 30 (ev tgt "(*origin.next).x");
+  ignore p2
+
+let test_strings () =
+  let tgt, _, _ = mk_target () in
+  let v = Cexpr.eval_string tgt "origin.name" in
+  Alcotest.(check string) "char array" "origin" (Target.as_string tgt v);
+  let v = Cexpr.eval_string tgt "\"literal\"" in
+  Alcotest.(check string) "literal" "literal" (Target.as_string tgt v);
+  Alcotest.(check int) "string eq" 1 (ev tgt "\"a\" == \"a\"");
+  Alcotest.(check int) "string ne" 1 (ev tgt "\"a\" != \"b\"")
+
+let test_sizeof_casts () =
+  let tgt, _, _ = mk_target () in
+  Alcotest.(check int) "sizeof type" 24 (ev tgt "sizeof(point)");
+  Alcotest.(check int) "sizeof expr" 4 (ev tgt "sizeof(origin.x)");
+  Alcotest.(check int) "sizeof ptr" 8 (ev tgt "sizeof(point *)");
+  Alcotest.(check int) "cast char truncates" 0x34 (ev tgt "(char)0x1234");
+  Alcotest.(check int) "cast signed" (-1) (ev tgt "(char)0xff");
+  Alcotest.(check int) "cast unsigned" 255 (ev tgt "(unsigned char)0xff");
+  Alcotest.(check int) "cast bool" 1 (ev tgt "(bool)42")
+
+let test_pointer_arith () =
+  let tgt, _, p2 = mk_target () in
+  (* origin.next + 1 advances by sizeof(point) = 24 *)
+  Alcotest.(check int) "ptr + int" (p2 + 24) (ev tgt "origin.next + 1");
+  Alcotest.(check int) "ptr - int" (p2 - 48) (ev tgt "origin.next - 2");
+  Alcotest.(check int) "ptr - ptr" 1 (ev tgt "(origin.next + 1) - origin.next");
+  Alcotest.(check int) "index" 30 (ev tgt "origin.next[0].x")
+
+let test_symbols_macros_helpers_enums () =
+  let tgt, _, _ = mk_target () in
+  Alcotest.(check int) "macro" 42 (ev tgt "MAGIC");
+  Alcotest.(check int) "helper" 84 (ev tgt "double(MAGIC)");
+  Alcotest.(check int) "nested call" 168 (ev tgt "double(double(MAGIC))");
+  Alcotest.(check int) "enum const" 2 (ev tgt "BLUE");
+  Alcotest.(check int) "char lit" 65 (ev tgt "'A'");
+  Alcotest.(check int) "escaped char" 10 (ev tgt "'\\n'")
+
+let test_literal_suffixes () =
+  let tgt, _, _ = mk_target () in
+  List.iter
+    (fun (src, expected) -> Alcotest.(check int) src expected (ev tgt src))
+    [ ("0x10UL", 16); ("42u", 42); ("100L", 100); ("0xffULL", 255); ("'\\0'", 0) ]
+
+let test_struct_keyword_types () =
+  let tgt, _, _ = mk_target () in
+  Alcotest.(check int) "struct tag cast" 24 (ev tgt "sizeof(struct point)");
+  Alcotest.(check int) "unsigned long" 8 (ev tgt "sizeof(unsigned long)");
+  Alcotest.(check int) "unsigned char" 1 (ev tgt "sizeof(unsigned char)");
+  Alcotest.(check int) "long long" 8 (ev tgt "sizeof(long long)");
+  Alcotest.(check int) "signed char" 1 (ev tgt "sizeof(signed char)");
+  (* a cast through a struct pointer then member access *)
+  Alcotest.(check int) "cast deref" 10 (ev tgt "((struct point *)&origin)->x")
+
+let test_short_circuit () =
+  let tgt, _, _ = mk_target () in
+  (* RHS would div-by-zero; short-circuit must avoid evaluating it *)
+  Alcotest.(check int) "&& short" 0 (ev tgt "0 && (1 / 0)");
+  Alcotest.(check int) "|| short" 1 (ev tgt "1 || (1 / 0)")
+
+let test_env () =
+  let tgt, _, _ = mk_target () in
+  let env name = if name = "@v" then Some (Target.int_value 99) else None in
+  Alcotest.(check int) "env ref" 100 (Target.as_int tgt (Cexpr.eval_string ~env tgt "@v + 1"))
+
+let test_parse_errors () =
+  let tgt, _, _ = mk_target () in
+  let fails s =
+    match Cexpr.eval_string tgt s with
+    | exception Cexpr.Parse_error _ -> ()
+    | exception Cexpr.Eval_error _ -> ()
+    | _ -> Alcotest.failf "expected failure for %S" s
+  in
+  List.iter fails [ "1 +"; "(1"; "foo"; "1 / 0"; "origin.nofield"; "nosuchfn(1)"; "\"unterminated" ]
+
+let test_pp_roundtrip () =
+  let tgt, _, _ = mk_target () in
+  List.iter
+    (fun src ->
+      let reg = Target.types tgt in
+      let e = Cexpr.parse reg src in
+      let e2 = Cexpr.parse reg (Cexpr.to_string e) in
+      Alcotest.(check int)
+        (Printf.sprintf "pp roundtrip %s" src)
+        (Target.as_int tgt (Cexpr.eval tgt e))
+        (Target.as_int tgt (Cexpr.eval tgt e2)))
+    [ "1 + 2 * 3 - 4"; "origin.next->x + sizeof(point)"; "MAGIC >> 1 & 0xf";
+      "1 < 2 ? origin.x : origin.y"; "double(3) * -2" ]
+
+(* Property: evaluator agrees with an OCaml model on random int expressions. *)
+type iexpr = Lit of int | Add of iexpr * iexpr | Sub of iexpr * iexpr | Mul of iexpr * iexpr
+           | Neg of iexpr | Andb of iexpr * iexpr | Orb of iexpr * iexpr
+
+let rec model = function
+  | Lit n -> n
+  | Add (a, b) -> model a + model b
+  | Sub (a, b) -> model a - model b
+  | Mul (a, b) -> model a * model b
+  | Neg a -> -model a
+  | Andb (a, b) -> model a land model b
+  | Orb (a, b) -> model a lor model b
+
+let rec to_c = function
+  | Lit n -> string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_c a) (to_c b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_c a) (to_c b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_c a) (to_c b)
+  | Neg a -> Printf.sprintf "(-%s)" (to_c a)
+  | Andb (a, b) -> Printf.sprintf "(%s & %s)" (to_c a) (to_c b)
+  | Orb (a, b) -> Printf.sprintf "(%s | %s)" (to_c a) (to_c b)
+
+let gen_iexpr =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun v -> Lit (v mod 1000)) small_nat
+         else
+           let sub = self (n / 2) in
+           oneof
+             [ map (fun v -> Lit (v mod 1000)) small_nat;
+               map2 (fun a b -> Add (a, b)) sub sub;
+               map2 (fun a b -> Sub (a, b)) sub sub;
+               map2 (fun a b -> Mul (a, b)) sub sub;
+               map (fun a -> Neg a) sub;
+               map2 (fun a b -> Andb (a, b)) sub sub;
+               map2 (fun a b -> Orb (a, b)) sub sub ])
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"cexpr matches OCaml model" ~count:200
+    (QCheck.make ~print:to_c gen_iexpr)
+    (fun e ->
+      let tgt, _, _ = mk_target () in
+      ev tgt (to_c e) = model e)
+
+let suite =
+  [ Alcotest.test_case "arithmetic & precedence" `Quick test_arithmetic;
+    Alcotest.test_case "member access" `Quick test_members;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "sizeof & casts" `Quick test_sizeof_casts;
+    Alcotest.test_case "pointer arithmetic" `Quick test_pointer_arith;
+    Alcotest.test_case "symbols/macros/helpers/enums" `Quick test_symbols_macros_helpers_enums;
+    Alcotest.test_case "literal suffixes" `Quick test_literal_suffixes;
+    Alcotest.test_case "type keywords" `Quick test_struct_keyword_types;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "environment refs" `Quick test_env;
+    Alcotest.test_case "errors" `Quick test_parse_errors;
+    Alcotest.test_case "printer roundtrip" `Quick test_pp_roundtrip;
+    QCheck_alcotest.to_alcotest prop_matches_model ]

