@@ -1,0 +1,22 @@
+# Tier-1 verification gate.
+#
+# `make check` is what CI (and the next contributor) should run: it
+# builds everything including the examples, runs the full test suite,
+# and does one bench smoke iteration so that a broken build or a broken
+# evaluation shape is caught mechanically.
+
+.PHONY: all test bench check clean
+
+all:
+	dune build @all
+
+test: all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+check: test bench
+
+clean:
+	dune clean

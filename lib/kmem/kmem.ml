@@ -6,6 +6,7 @@ let null = 0
 type fault =
   | Use_after_free of { obj : addr; tag : string; at : addr }
   | Wild_access of addr
+  | Injected of addr
 
 type state = Live | Freed
 
@@ -23,8 +24,14 @@ type t = {
   mutable live : int;
   mutable live_bytes : int;
   mutable faults_rev : fault list;
+  mutable nfaults : int;
   mutable reads : int;
   mutable bytes_read : int;
+  (* fault injection (all default-off; extraction is deterministic
+     unless a test opts in) *)
+  mutable inj_rate : float;
+  mutable inj_rng : int;
+  mutable poisoned : (addr * int) list;
 }
 
 let create () =
@@ -35,8 +42,12 @@ let create () =
     live = 0;
     live_bytes = 0;
     faults_rev = [];
+    nfaults = 0;
     reads = 0;
     bytes_read = 0;
+    inj_rate = 0.;
+    inj_rng = 0x9e3779b9;
+    poisoned = [];
   }
 
 let chunk_of mem a =
@@ -103,7 +114,49 @@ let free mem a =
   | Some _ -> invalid_arg "Kmem.free: not an allocation base address"
   | None -> invalid_arg "Kmem.free: wild free"
 
-let record_fault mem f = mem.faults_rev <- f :: mem.faults_rev
+let record_fault mem f =
+  mem.nfaults <- mem.nfaults + 1;
+  mem.faults_rev <- f :: mem.faults_rev
+
+(* -------------------------------------------------------------------- *)
+(* Fault injection.  Three knobs, all off by default:
+   - probabilistic read failure (deterministic LCG, so a seeded run is
+     reproducible);
+   - address-range poisoning: reads overlapping a poisoned range fail;
+   - one-shot bit flips, which corrupt the stored byte directly.
+   A failing read records an [Injected] fault and returns POISON_FREE
+   bytes, the same thing a read of freed memory sees. *)
+
+let inject_read_failures mem ?(seed = 0x9e3779b9) rate =
+  mem.inj_rate <- rate;
+  mem.inj_rng <- seed
+
+let poison_range mem a len = if len > 0 then mem.poisoned <- (a, len) :: mem.poisoned
+
+let clear_injection mem =
+  mem.inj_rate <- 0.;
+  mem.inj_rng <- 0x9e3779b9;
+  mem.poisoned <- []
+
+let injected mem a n =
+  let ranged = List.exists (fun (b, len) -> a < b + len && b < a + n) mem.poisoned in
+  let random =
+    mem.inj_rate > 0.
+    && begin
+         (* Java's 48-bit LCG: fits comfortably in OCaml's 63-bit ints *)
+         mem.inj_rng <- ((mem.inj_rng * 25214903917) + 11) land 0xFFFF_FFFF_FFFF;
+         float_of_int ((mem.inj_rng lsr 24) land 0xFFFFFF) /. 16777216. < mem.inj_rate
+       end
+  in
+  if ranged || random then begin
+    record_fault mem (Injected a);
+    true
+  end
+  else false
+
+(* 0x6b in every byte, like reading freed memory (top byte included: an
+   8-byte poison read wraps negative exactly as a real poison load). *)
+let rec poison_value n = if n = 0 then 0 else (poison_value (n - 1) lsl 8) lor 0x6b
 
 (* Check an [n]-byte read starting at [a]; UAF and wild reads are recorded
    but do not stop execution — the poison (or zero) bytes are returned, as
@@ -123,12 +176,14 @@ let set mem a v = Bytes.set (chunk_of mem a) (a land (chunk_size - 1)) (Char.chr
 
 let read_u8 mem a =
   note_read mem a 1;
-  get mem a
+  if injected mem a 1 then poison_value 1 else get mem a
 
 let read_le mem a n =
   note_read mem a n;
-  let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get mem (a + i)) in
-  go (n - 1) 0
+  if injected mem a n then poison_value n
+  else
+    let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get mem (a + i)) in
+    go (n - 1) 0
 
 let read_u16 mem a = read_le mem a 2
 let read_u32 mem a = read_le mem a 4
@@ -137,8 +192,10 @@ let read_u64 mem a =
   (* Native ints are 63-bit; our simulated addresses and values stay well
      below 2^62, so a 64-bit field is read as low 62 bits + sign-safe top. *)
   note_read mem a 8;
-  let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get mem (a + i)) in
-  go 7 0
+  if injected mem a 8 then poison_value 8
+  else
+    let rec go i acc = if i < 0 then acc else go (i - 1) ((acc lsl 8) lor get mem (a + i)) in
+    go 7 0
 
 let sign_extend v bits =
   let m = 1 lsl (bits - 1) in
@@ -150,10 +207,13 @@ let read_i32 mem a = sign_extend (read_u32 mem a) 32
 
 let read_bytes mem a n =
   note_read mem a n;
-  String.init n (fun i -> Char.chr (get mem (a + i)))
+  if injected mem a n then String.make n poison_byte
+  else String.init n (fun i -> Char.chr (get mem (a + i)))
 
 let read_cstring mem ?(max = 256) a =
   note_read mem a max;
+  if injected mem a max then String.make (min max 8) poison_byte
+  else
   let buf = Buffer.create 16 in
   let rec go i =
     if i < max then
@@ -186,8 +246,20 @@ let write_cstring mem a ?field_size s =
   write_bytes mem a s;
   set mem (a + String.length s) 0
 
+let flip_bits mem a ~mask = set mem a (get mem a lxor mask)
+
 let faults mem = List.rev mem.faults_rev
-let clear_faults mem = mem.faults_rev <- []
+let fault_count mem = mem.nfaults
+
+let faults_since mem c0 =
+  let rec take k l =
+    if k <= 0 then [] else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  List.rev (take (mem.nfaults - c0) mem.faults_rev)
+
+let clear_faults mem =
+  mem.faults_rev <- [];
+  mem.nfaults <- 0
 let read_count mem = mem.reads
 let bytes_read mem = mem.bytes_read
 
@@ -202,3 +274,4 @@ let pp_fault ppf = function
   | Use_after_free { obj; tag; at } ->
       Format.fprintf ppf "use-after-free: read 0x%x inside freed %s@0x%x" at tag obj
   | Wild_access a -> Format.fprintf ppf "wild access: 0x%x" a
+  | Injected a -> Format.fprintf ppf "injected fault: read at 0x%x corrupted" a

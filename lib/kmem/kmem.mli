@@ -29,6 +29,9 @@ type fault =
   | Use_after_free of { obj : addr; tag : string; at : addr }
       (** Read of [at] inside the freed allocation [obj] (tagged [tag]). *)
   | Wild_access of addr  (** Access to an address never allocated. *)
+  | Injected of addr
+      (** A read the fault-injection layer chose to corrupt (see
+          {!inject_read_failures} and {!poison_range}). *)
 
 val create : unit -> t
 
@@ -83,10 +86,42 @@ val write_cstring : t -> addr -> ?field_size:int -> string -> unit
 (** Write a NUL-terminated string, truncating to [field_size - 1] bytes
     when [field_size] is given. *)
 
+(** {1 Fault injection}
+
+    Test hooks for exercising the fault paths of everything above the
+    memory. All default-off: extraction over an uninjected memory is
+    byte-for-byte deterministic. A read chosen for failure records an
+    {!fault.Injected} fault and returns [POISON_FREE] ([0x6b]) bytes —
+    indistinguishable from reading freed memory, which is exactly what a
+    flaky or lying debug transport produces in practice. *)
+
+val inject_read_failures : t -> ?seed:int -> float -> unit
+(** [inject_read_failures mem rate] makes each subsequent read fail
+    independently with probability [rate] ([0.] disables). Driven by a
+    deterministic LCG seeded with [seed], so runs are reproducible. *)
+
+val poison_range : t -> addr -> int -> unit
+(** [poison_range mem a len]: any read overlapping [\[a, a+len)] fails. *)
+
+val flip_bits : t -> addr -> mask:int -> unit
+(** One-shot corruption: XOR the stored byte at [addr] with [mask].
+    Subsequent reads see the flipped data with no fault recorded —
+    silent corruption, the hardest case for the visualizer. *)
+
+val clear_injection : t -> unit
+(** Disable probabilistic failure and forget all poisoned ranges. *)
+
 (** {1 Access accounting and faults} *)
 
 val faults : t -> fault list
 (** Faults recorded so far, oldest first. *)
+
+val fault_count : t -> int
+(** [List.length (faults mem)], O(1). *)
+
+val faults_since : t -> int -> fault list
+(** [faults_since mem c] is the faults recorded after the point where
+    {!fault_count} returned [c], oldest first. *)
 
 val clear_faults : t -> unit
 

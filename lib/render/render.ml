@@ -16,10 +16,14 @@ let box_title b =
     else if b.Vgraph.btype <> "" then b.Vgraph.btype
     else "box"
   in
-  if b.Vgraph.container then Printf.sprintf "%s %s [%d members]" name (box_ref b) (List.length b.Vgraph.members)
-  else if b.Vgraph.addr <> 0 then
-    Printf.sprintf "%s %s <%s @0x%x>" name (box_ref b) b.Vgraph.btype b.Vgraph.addr
-  else Printf.sprintf "%s %s" name (box_ref b)
+  let base =
+    if b.Vgraph.container then
+      Printf.sprintf "%s %s [%d members]" name (box_ref b) (List.length b.Vgraph.members)
+    else if b.Vgraph.addr <> 0 then
+      Printf.sprintf "%s %s <%s @0x%x>" name (box_ref b) b.Vgraph.btype b.Vgraph.addr
+    else Printf.sprintf "%s %s" name (box_ref b)
+  in
+  match Vgraph.broken b with Some _ -> base ^ " [BROKEN]" | None -> base
 
 (* ------------------------------------------------------------------ *)
 (* ASCII cards *)

@@ -1,0 +1,372 @@
+(* See target.mli for the contract.  The split that matters here:
+
+   - navigation computes locations, observation performs reads;
+   - memory trouble (dangling, wild, null, tagged pointers, injected
+     corruption) lands in the fault journal and the read yields
+     poison/zero — it never raises;
+   - structural misuse (deref of an int, unknown field) raises
+     [Invalid_argument], which Cexpr turns into [Eval_error]. *)
+
+type addr = int
+type location = Lval of addr | Rval of int | Rstr of string
+type value = { typ : Ctype.t; loc : location }
+
+type fault =
+  | Use_after_free of { obj : addr; tag : string; at : addr }
+  | Wild_access of { at : addr }
+  | Null_deref of { at : addr; ctx : string }
+  | Misaligned of { at : addr; want : int; ctx : string }
+  | Bad_cast of { from_ : string; to_ : string }
+  | Injected of { at : addr }
+  | Truncated of { at : addr; ctx : string }
+
+type t = {
+  kmem : Kmem.t;
+  reg : Ctype.registry;
+  symbols : (string, value) Hashtbl.t;
+  macros : (string, int) Hashtbl.t;
+  helpers : (string, helper) Hashtbl.t;
+  mutable journal : fault list;  (* newest first *)
+  mutable nfaults : int;
+  mutable sinks : fault list ref list;  (* innermost with_faults first *)
+}
+
+and helper = t -> value list -> value
+
+let create kmem reg =
+  {
+    kmem;
+    reg;
+    symbols = Hashtbl.create 64;
+    macros = Hashtbl.create 64;
+    helpers = Hashtbl.create 64;
+    journal = [];
+    nfaults = 0;
+    sinks = [];
+  }
+
+let mem t = t.kmem
+let types t = t.reg
+
+(* ------------------------------------------------------------------ *)
+(* Fault journal *)
+
+let record_fault t f =
+  t.nfaults <- t.nfaults + 1;
+  t.journal <- f :: t.journal;
+  match t.sinks with s :: _ -> s := f :: !s | [] -> ()
+
+let faults t = List.rev t.journal
+let fault_count t = t.nfaults
+
+let clear_faults t =
+  t.journal <- [];
+  t.nfaults <- 0
+
+let with_faults t f =
+  let sink = ref [] in
+  t.sinks <- sink :: t.sinks;
+  let pop () = t.sinks <- (match t.sinks with _ :: rest -> rest | [] -> []) in
+  match f () with
+  | x ->
+      pop ();
+      (x, List.rev !sink)
+  | exception e ->
+      pop ();
+      raise e
+
+let fault_to_string = function
+  | Use_after_free { obj; tag; at } ->
+      Printf.sprintf "use-after-free: %s@0x%x (read at 0x%x)" tag obj at
+  | Wild_access { at } -> Printf.sprintf "wild-access: 0x%x" at
+  | Null_deref { at; ctx } -> Printf.sprintf "null-deref: 0x%x in %s" at ctx
+  | Misaligned { at; want; ctx } ->
+      Printf.sprintf "misaligned: 0x%x (need %d-byte alignment) in %s" at want ctx
+  | Bad_cast { from_; to_ } -> Printf.sprintf "bad-cast: %s -> %s" from_ to_
+  | Injected { at } -> Printf.sprintf "injected-fault: 0x%x" at
+  | Truncated { at; ctx } -> Printf.sprintf "truncated %s at 0x%x" ctx at
+
+let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* Checked reads *)
+
+(* First page is the null guard: reads there are null dereferences and
+   are not performed at all. *)
+let null_guard = 4096
+
+(* Copy any injection faults Kmem recorded during a read into our own
+   journal, so the box being extracted sees them. *)
+let mirror_injected t c0 =
+  if Kmem.fault_count t.kmem > c0 then
+    List.iter
+      (function Kmem.Injected at -> record_fault t (Injected { at }) | _ -> ())
+      (Kmem.faults_since t.kmem c0)
+
+(* Validate [a] against the allocation map.  Returns false when the
+   read must be suppressed entirely (null page); otherwise the read
+   proceeds — freed memory yields its poison bytes, wild memory zeros —
+   with the matching fault recorded. *)
+let validate t ~ctx a =
+  if a >= 0 && a < null_guard then begin
+    record_fault t (Null_deref { at = a; ctx });
+    false
+  end
+  else begin
+    (match Kmem.find_alloc t.kmem a with
+    | Some (base, _, tag) ->
+        if not (Kmem.is_live t.kmem a) then
+          record_fault t (Use_after_free { obj = base; tag; at = a })
+    | None -> record_fault t (Wild_access { at = a }));
+    true
+  end
+
+let read_scalar t ~ctx a size signed =
+  if not (validate t ~ctx a) then 0
+  else begin
+    let c0 = Kmem.fault_count t.kmem in
+    let v =
+      match (size, signed) with
+      | 1, false -> Kmem.read_u8 t.kmem a
+      | 1, true -> Kmem.read_i8 t.kmem a
+      | 2, false -> Kmem.read_u16 t.kmem a
+      | 2, true -> Kmem.read_i16 t.kmem a
+      | 4, false -> Kmem.read_u32 t.kmem a
+      | 4, true -> Kmem.read_i32 t.kmem a
+      | _ -> Kmem.read_u64 t.kmem a
+    in
+    mirror_injected t c0;
+    v
+  end
+
+let read_str t ~ctx a reader =
+  if not (validate t ~ctx a) then ""
+  else begin
+    let c0 = Kmem.fault_count t.kmem in
+    let s = reader t.kmem a in
+    mirror_injected t c0;
+    s
+  end
+
+(* A pointer about to be followed: a value misaligned for its pointee is
+   the signature of a low-bit-tagged or garbage pointer (the paper's
+   StackRot plot is full of them). *)
+let check_align t ~ctx pointee p =
+  if p < 0 || p >= null_guard then begin
+    let al = try Ctype.alignof t.reg pointee with Invalid_argument _ -> 1 in
+    if al > 1 && p land (al - 1) <> 0 then
+      record_fault t (Misaligned { at = p; want = al; ctx })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Constructors *)
+
+let obj typ a = { typ; loc = Lval a }
+let ptr_to typ a = { typ = Ctype.Ptr typ; loc = Rval a }
+let int_value n = { typ = Ctype.long; loc = Rval n }
+let bool_value b = { typ = Ctype.Bool; loc = Rval (if b then 1 else 0) }
+let str_value s = { typ = Ctype.charp; loc = Rstr s }
+let null_ptr = { typ = Ctype.voidp; loc = Rval 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Observation *)
+
+let as_int t v =
+  match v.loc with
+  | Rval n -> n
+  | Rstr _ -> invalid_arg "Target.as_int: string value has no integer reading"
+  | Lval a -> (
+      match Ctype.strip t.reg v.typ with
+      | Ctype.Ptr _ -> read_scalar t ~ctx:"as_int" a 8 false
+      | Ctype.Bool -> read_scalar t ~ctx:"as_int" a 1 false
+      | Ctype.Int ik -> read_scalar t ~ctx:"as_int" a ik.Ctype.ik_size ik.Ctype.ik_signed
+      (* aggregates (and void/function symbols) decay to their address *)
+      | Ctype.Array _ | Ctype.Named _ | Ctype.Func _ | Ctype.Void -> a)
+
+let addr_of v =
+  match v.loc with
+  | Lval a -> a
+  | Rval _ | Rstr _ -> invalid_arg "Target.addr_of: not an lvalue"
+
+(* The integer value of a pointer-typed [v]. *)
+let pointer_value t v =
+  match v.loc with
+  | Rval n -> n
+  | Rstr _ -> invalid_arg "Target.deref: string value is not a pointer"
+  | Lval a -> read_scalar t ~ctx:"pointer load" a 8 false
+
+let truthy t v =
+  match v.loc with Rstr s -> s <> "" | Rval n -> n <> 0 | Lval _ -> as_int t v <> 0
+
+let is_charlike = function
+  | Ctype.Int ik -> ik.Ctype.ik_size = 1
+  | Ctype.Void -> true
+  | _ -> false
+
+let as_string t v =
+  match (v.loc, v.typ) with
+  | Rstr s, _ -> s
+  | _, Ctype.Array (elt, n) when is_charlike elt ->
+      let a = addr_of v in
+      let raw = read_str t ~ctx:"string read" a (fun m x -> Kmem.read_bytes m x n) in
+      (match String.index_opt raw '\000' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw)
+  | _, Ctype.Ptr elt when is_charlike elt ->
+      let p = pointer_value t v in
+      (* NULL string pointers are routine in kernel structs; read as "" *)
+      if p = 0 then ""
+      else read_str t ~ctx:"C-string read" p (fun m x -> Kmem.read_cstring m x)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Target.as_string: %s has no string reading" (Ctype.to_string v.typ))
+
+let load t v =
+  match v.loc with
+  | Rval _ | Rstr _ -> v
+  | Lval _ -> (
+      match Ctype.strip t.reg v.typ with
+      | Ctype.Int _ | Ctype.Bool | Ctype.Ptr _ -> { typ = v.typ; loc = Rval (as_int t v) }
+      | _ -> v)
+
+(* ------------------------------------------------------------------ *)
+(* Navigation *)
+
+let member t v fname =
+  let comp, base =
+    match v.typ with
+    | Ctype.Named n -> (
+        match v.loc with
+        | Lval a -> (n, a)
+        | Rval _ | Rstr _ ->
+            invalid_arg
+              (Printf.sprintf "Target.member: %S value is not in memory (.%s)" n fname))
+    | Ctype.Ptr (Ctype.Named n) ->
+        (* GDB-style auto-dereference: p->f *)
+        let p = pointer_value t v in
+        check_align t ~ctx:("->" ^ fname) (Ctype.Named n) p;
+        (n, p)
+    | ty ->
+        invalid_arg
+          (Printf.sprintf "Target.member: %s has no member %S" (Ctype.to_string ty) fname)
+  in
+  match Ctype.field_opt t.reg comp fname with
+  | None -> invalid_arg (Printf.sprintf "Target.member: no field %S in %S" fname comp)
+  | Some f -> (
+      match f.Ctype.fbit with
+      | None -> { typ = f.Ctype.ftyp; loc = Lval (base + f.Ctype.foffset) }
+      | Some (bit, width) ->
+          (* a bit range has no address: extract immediately *)
+          let unit_sz = Ctype.sizeof t.reg f.Ctype.ftyp in
+          let raw = read_scalar t ~ctx:("." ^ fname) (base + f.Ctype.foffset) unit_sz false in
+          { typ = f.Ctype.ftyp; loc = Rval ((raw lsr bit) land ((1 lsl width) - 1)) })
+
+let member_path t v path =
+  List.fold_left (member t) v (String.split_on_char '.' path)
+
+let index t v i =
+  match v.typ with
+  | Ctype.Array (elt, _) ->
+      (* no bounds check: GDB computes the address regardless, and the
+         liveness check on the eventual read flags genuine overruns *)
+      let base =
+        match v.loc with
+        | Lval a -> a
+        | Rval _ | Rstr _ -> invalid_arg "Target.index: array value is not in memory"
+      in
+      { typ = elt; loc = Lval (base + (i * Ctype.sizeof t.reg elt)) }
+  | Ctype.Ptr ((Ctype.Void | Ctype.Func _) as e) ->
+      invalid_arg (Printf.sprintf "Target.index: cannot index %s pointer" (Ctype.to_string e))
+  | Ctype.Ptr elt ->
+      let p = pointer_value t v in
+      check_align t ~ctx:(Printf.sprintf "[%d]" i) elt p;
+      { typ = elt; loc = Lval (p + (i * Ctype.sizeof t.reg elt)) }
+  | ty -> invalid_arg (Printf.sprintf "Target.index: %s is not indexable" (Ctype.to_string ty))
+
+let deref t v =
+  match v.typ with
+  | Ctype.Ptr (Ctype.Func _) -> invalid_arg "Target.deref: function pointer"
+  | Ctype.Ptr Ctype.Void -> invalid_arg "Target.deref: void pointer"
+  | Ctype.Ptr inner ->
+      let p = pointer_value t v in
+      check_align t ~ctx:"deref" inner p;
+      { typ = inner; loc = Lval p }
+  | ty -> invalid_arg (Printf.sprintf "Target.deref: %s is not a pointer" (Ctype.to_string ty))
+
+let cast t ty v =
+  let bad () =
+    record_fault t (Bad_cast { from_ = Ctype.to_string v.typ; to_ = Ctype.to_string ty });
+    { typ = ty; loc = v.loc }
+  in
+  match v.loc with
+  | Rstr _ -> ( match Ctype.strip t.reg ty with Ctype.Ptr _ -> { typ = ty; loc = v.loc } | _ -> bad ())
+  | Rval _ | Lval _ -> (
+      match Ctype.strip t.reg ty with
+      | Ctype.Bool -> { typ = ty; loc = Rval (if as_int t v <> 0 then 1 else 0) }
+      | Ctype.Int ik ->
+          let n = as_int t v in
+          let n =
+            if ik.Ctype.ik_size >= 8 then n
+            else
+              let bits = 8 * ik.Ctype.ik_size in
+              let m = n land ((1 lsl bits) - 1) in
+              if ik.Ctype.ik_signed && m land (1 lsl (bits - 1)) <> 0 then m - (1 lsl bits)
+              else m
+          in
+          { typ = ty; loc = Rval n }
+      | Ctype.Ptr _ -> { typ = ty; loc = Rval (as_int t v) }
+      | Ctype.Named _ | Ctype.Array _ -> (
+          (* reinterpret memory: an integer becomes the address *)
+          match v.loc with
+          | Lval a | Rval a -> { typ = ty; loc = Lval a }
+          | Rstr _ -> bad ())
+      | Ctype.Void | Ctype.Func _ -> bad ())
+
+let container_of t a comp field =
+  obj (Ctype.Named comp) (a - Ctype.offsetof t.reg comp field)
+
+(* ------------------------------------------------------------------ *)
+(* Symbols, macros, helpers *)
+
+let add_symbol t name v = Hashtbl.replace t.symbols name v
+let add_macro t name n = Hashtbl.replace t.macros name n
+let add_helper t name h = Hashtbl.replace t.helpers name h
+
+let lookup_symbol t name =
+  match Hashtbl.find_opt t.symbols name with
+  | Some v -> Some v
+  | None -> (
+      match Hashtbl.find_opt t.macros name with
+      | Some n -> Some (int_value n)
+      | None -> (
+          match Ctype.lookup_enum_const t.reg name with
+          | Some (ename, v) -> Some { typ = Ctype.Named ename; loc = Rval v }
+          | None -> None))
+
+let lookup_helper t name = Hashtbl.find_opt t.helpers name
+
+let call_helper t name args =
+  match lookup_helper t name with
+  | Some h -> h t args
+  | None -> invalid_arg (Printf.sprintf "Target.call_helper: unknown helper %S" name)
+
+(* ------------------------------------------------------------------ *)
+(* Read accounting and latency models *)
+
+type stats = { reads : int; bytes : int }
+
+let stats t = { reads = Kmem.read_count t.kmem; bytes = Kmem.bytes_read t.kmem }
+let reset_stats t = Kmem.reset_counters t.kmem
+
+type profile = { pname : string; rtt_ms : float; byte_ms : float }
+
+(* Per-byte cost pinned to rtt/1024 keeps the transport ratios
+   workload-independent, matching the paper's Table 5 shape: KGDB over
+   serial is ~50x GDB-over-QEMU per figure. *)
+let profile pname rtt_ms = { pname; rtt_ms; byte_ms = rtt_ms /. 1024. }
+let qemu_local = profile "gdb-qemu" 0.05
+let kgdb_rpi = profile "kgdb-rpi3b" 3.0
+let kgdb_rpi400 = profile "kgdb-rpi400" 2.5
+
+let simulated_ms p st =
+  (float_of_int st.reads *. p.rtt_ms) +. (float_of_int st.bytes *. p.byte_ms)

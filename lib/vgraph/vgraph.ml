@@ -81,6 +81,14 @@ let record_field b name v = Hashtbl.replace b.fields name v
 
 let field b name = Hashtbl.find_opt b.fields name
 
+(* A box whose extraction hit memory faults: still rendered, visibly
+   marked, filterable from ViewQL (WHERE broken == ...). *)
+let mark_broken b reason =
+  b.attrs.extra <- ("broken", reason) :: List.remove_assoc "broken" b.attrs.extra;
+  record_field b "broken" (Fstr reason)
+
+let broken b = List.assoc_opt "broken" b.attrs.extra
+
 let boxes g = Hashtbl.fold (fun _ b acc -> b :: acc) g.boxes [] |> List.sort (fun a b -> compare a.id b.id)
 
 let box_count g = Hashtbl.length g.boxes

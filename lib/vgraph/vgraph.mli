@@ -75,6 +75,16 @@ val record_field : box -> string -> fval -> unit
 
 val field : box -> string -> fval option
 
+val mark_broken : box -> string -> unit
+(** [mark_broken b reason] marks [b] as extracted from faulty memory
+    (dangling/wild/corrupted object): sets the ["broken"] extra
+    attribute and records a ["broken"] field so ViewQL can filter on
+    it. The box stays in the graph — a plot of a corrupted kernel
+    degrades instead of aborting. *)
+
+val broken : box -> string option
+(** The fault description of a broken box. *)
+
 val boxes : t -> box list
 (** All boxes, in id (construction) order. *)
 

@@ -19,6 +19,14 @@ type config = {
 
 let default_config = { flags = []; emojis = [] }
 
+(** Traversal bounds for container iteration.  A corrupted kernel can
+    present a circular list or a self-referential tree; extraction must
+    truncate (recording a {!Target.fault.Truncated} fault, which marks
+    the owning box broken) rather than hang or overflow the stack. *)
+type limits = { max_nodes : int; max_depth : int }
+
+let default_limits = { max_nodes = 4096; max_depth = 64 }
+
 type value =
   | Vtgt of Target.value
   | Vbox of Vgraph.box_id
@@ -33,8 +41,11 @@ type state = {
   graph : Vgraph.t;
   defs : (string, boxdef) Hashtbl.t;
   memo : (string * int, Vgraph.box_id) Hashtbl.t;  (** (def, addr) -> box *)
+  limits : limits;
   mutable box_budget : int;
 }
+
+let truncated st ~ctx a = Target.record_fault st.tgt (Target.Truncated { at = a; ctx })
 
 let lookup env name = List.assoc_opt name env
 
@@ -213,9 +224,17 @@ let iter_list st head_v =
     | _ -> Target.addr_of head_v
   in
   let next a = Target.as_int tgt (Target.member tgt (Target.obj (Ctype.Named "list_head") a) "next") in
+  let seen = Hashtbl.create 64 in
   let rec go a acc n =
-    if a = head || a = 0 || n > 100000 then List.rev acc
-    else go (next a) (Vtgt (Target.ptr_to (Ctype.Named "list_head") a) :: acc) (n + 1)
+    if a = head || a = 0 then List.rev acc
+    else if Hashtbl.mem seen a || n >= st.limits.max_nodes then begin
+      truncated st ~ctx:"List traversal" a;
+      List.rev acc
+    end
+    else begin
+      Hashtbl.add seen a ();
+      go (next a) (Vtgt (Target.ptr_to (Ctype.Named "list_head") a) :: acc) (n + 1)
+    end
   in
   go (next head) [] 0
 
@@ -228,11 +247,19 @@ let iter_hlist st head_v =
   in
   let first = Target.as_int tgt (Target.member tgt (Target.obj (Ctype.Named "hlist_head") head) "first") in
   let next a = Target.as_int tgt (Target.member tgt (Target.obj (Ctype.Named "hlist_node") a) "next") in
-  let rec go a acc =
+  let seen = Hashtbl.create 64 in
+  let rec go a acc n =
     if a = 0 then List.rev acc
-    else go (next a) (Vtgt (Target.ptr_to (Ctype.Named "hlist_node") a) :: acc)
+    else if Hashtbl.mem seen a || n >= st.limits.max_nodes then begin
+      truncated st ~ctx:"HList traversal" a;
+      List.rev acc
+    end
+    else begin
+      Hashtbl.add seen a ();
+      go (next a) (Vtgt (Target.ptr_to (Ctype.Named "hlist_node") a) :: acc) (n + 1)
+    end
   in
-  go first []
+  go first [] 0
 
 let iter_rbtree st root_v =
   (* Accepts rb_root, rb_root_cached, or pointers to either. *)
@@ -245,12 +272,21 @@ let iter_rbtree st root_v =
   in
   let node a = Target.obj (Ctype.Named "rb_node") a in
   let get f a = Target.as_int tgt (Target.member tgt (node a) f) in
-  let rec inorder a acc =
+  let seen = Hashtbl.create 64 in
+  let rec inorder a depth acc =
     if a = 0 then acc
-    else inorder (get "rb_left" a) (Vtgt (Target.ptr_to (Ctype.Named "rb_node") a) :: inorder (get "rb_right" a) acc)
+    else if Hashtbl.mem seen a || depth > st.limits.max_depth then begin
+      truncated st ~ctx:"RBTree traversal" a;
+      acc
+    end
+    else begin
+      Hashtbl.add seen a ();
+      inorder (get "rb_left" a) (depth + 1)
+        (Vtgt (Target.ptr_to (Ctype.Named "rb_node") a) :: inorder (get "rb_right" a) (depth + 1) acc)
+    end
   in
   let top = Target.as_int tgt (Target.member tgt root "rb_node") in
-  inorder top []
+  inorder top 0 []
 
 let iter_array st args =
   let tgt = st.tgt in
@@ -277,20 +313,28 @@ let iter_xarray st xa_v =
   let head = Target.as_int tgt (Target.member tgt xa "xa_head") in
   let is_node e = e land 3 = 2 && e > 4096 in
   let acc = ref [] in
-  let rec walk e =
+  let seen = Hashtbl.create 64 in
+  let rec walk e depth =
     if e <> 0 then
       if not (is_node e) then acc := Vtgt (Target.ptr_to Ctype.Void e) :: !acc
       else begin
-        let n = Target.obj (Ctype.Named "xa_node") (e land lnot 3) in
-        let shift = Target.as_int tgt (Target.member tgt n "shift") in
-        let slots = Target.member tgt n "slots" in
-        for i = 0 to 63 do
-          let child = Target.as_int tgt (Target.load tgt (Target.index tgt slots i)) in
-          if child <> 0 then if shift = 0 then acc := Vtgt (Target.ptr_to Ctype.Void child) :: !acc else walk child
-        done
+        let na = e land lnot 3 in
+        if Hashtbl.mem seen na || depth > st.limits.max_depth then truncated st ~ctx:"XArray traversal" na
+        else begin
+          Hashtbl.add seen na ();
+          let n = Target.obj (Ctype.Named "xa_node") na in
+          let shift = Target.as_int tgt (Target.member tgt n "shift") in
+          let slots = Target.member tgt n "slots" in
+          for i = 0 to 63 do
+            let child = Target.as_int tgt (Target.load tgt (Target.index tgt slots i)) in
+            if child <> 0 then
+              if shift = 0 then acc := Vtgt (Target.ptr_to Ctype.Void child) :: !acc
+              else walk child (depth + 1)
+          done
+        end
       end
   in
-  walk head;
+  walk head 0;
   List.rev !acc
 
 let iter_maple st mt_v =
@@ -304,31 +348,37 @@ let iter_maple st mt_v =
   let to_node e = e land lnot 0xff in
   let node_type e = (e lsr 3) land 0xf in
   let acc = ref [] in
-  let rec descend enc node_min node_max =
-    let leaf = node_type enc = 1 in
-    let node = Target.obj (Ctype.Named "maple_node") (to_node enc) in
-    let sub = Target.member tgt node (if leaf then "mr64" else "ma64") in
-    let pivots = Target.member tgt sub "pivot" in
-    let slots = Target.member tgt sub "slot" in
-    let nslots = if leaf then 16 else 10 in
-    let rec go i lo =
-      if i < nslots && lo <= node_max then begin
-        let hi =
-          if i >= nslots - 1 then node_max
-          else
-            let p = Target.as_int tgt (Target.load tgt (Target.index tgt pivots i)) in
-            if p = 0 then node_max else p
-        in
-        let v = Target.as_int tgt (Target.load tgt (Target.index tgt slots i)) in
-        (if leaf then (if v <> 0 then acc := Vtgt (Target.ptr_to Ctype.Void v) :: !acc)
-         else if is_node v then descend v lo hi);
-        if hi < node_max then go (i + 1) (hi + 1)
-      end
-    in
-    go 0 node_min
+  let seen = Hashtbl.create 64 in
+  let rec descend enc node_min node_max depth =
+    let na = to_node enc in
+    if Hashtbl.mem seen na || depth > st.limits.max_depth then truncated st ~ctx:"MapleEntries traversal" na
+    else begin
+      Hashtbl.add seen na ();
+      let leaf = node_type enc = 1 in
+      let node = Target.obj (Ctype.Named "maple_node") na in
+      let sub = Target.member tgt node (if leaf then "mr64" else "ma64") in
+      let pivots = Target.member tgt sub "pivot" in
+      let slots = Target.member tgt sub "slot" in
+      let nslots = if leaf then 16 else 10 in
+      let rec go i lo =
+        if i < nslots && lo <= node_max then begin
+          let hi =
+            if i >= nslots - 1 then node_max
+            else
+              let p = Target.as_int tgt (Target.load tgt (Target.index tgt pivots i)) in
+              if p = 0 then node_max else p
+          in
+          let v = Target.as_int tgt (Target.load tgt (Target.index tgt slots i)) in
+          (if leaf then (if v <> 0 then acc := Vtgt (Target.ptr_to Ctype.Void v) :: !acc)
+           else if is_node v then descend v lo hi (depth + 1));
+          if hi < node_max then go (i + 1) (hi + 1)
+        end
+      in
+      go 0 node_min
+    end
   in
   if root <> 0 then
-    if is_node root then descend root 0 mt_max
+    if is_node root then descend root 0 mt_max 0
     else acc := [ Vtgt (Target.ptr_to Ctype.Void root) ];
   List.rev !acc
 
@@ -518,21 +568,40 @@ and build_box st env ~bdef ~btype ~addr ~views ~bwhere =
   in
   let b = Vgraph.add_box st.graph ~btype ~bdef ~addr ~size ~container:false in
   if bdef <> "" then Hashtbl.replace st.memo (bdef, addr) b.Vgraph.id;
-  (* box-level where bindings *)
-  let env = eval_bindings st env bwhere in
-  (* Each declared view gets its items (inherited views prepended). *)
-  List.iter
-    (fun v ->
-      let chains = effective_items views v.vname in
-      let items =
-        List.concat_map
-          (fun (vitems, vwhere) ->
-            let venv = eval_bindings st env vwhere in
-            List.concat_map (eval_item st venv b) vitems)
-          chains
-      in
-      Vgraph.set_view b v.vname items)
-    views;
+  (* Graceful degradation: collect the memory faults hit while building
+     THIS box (nested boxes keep theirs — with_faults nests).  A faulting
+     box stays in the plot, visibly broken, instead of aborting the
+     extraction; ViewCL program errors (fail/Viewcl.Error) still abort. *)
+  let (), box_faults =
+    Target.with_faults st.tgt (fun () ->
+        (* box-level where bindings *)
+        let env = eval_bindings st env bwhere in
+        (* Each declared view gets its items (inherited views prepended). *)
+        List.iter
+          (fun v ->
+            let chains = effective_items views v.vname in
+            let items =
+              List.concat_map
+                (fun (vitems, vwhere) ->
+                  let venv = eval_bindings st env vwhere in
+                  List.concat_map (eval_item st venv b) vitems)
+                chains
+            in
+            Vgraph.set_view b v.vname items)
+          views)
+  in
+  (match box_faults with
+  | [] -> ()
+  | f :: _ ->
+      let n = List.length box_faults in
+      let reason = Target.fault_to_string f in
+      let reason = if n > 1 then Printf.sprintf "%s (+%d more)" reason (n - 1) else reason in
+      Vgraph.mark_broken b reason;
+      b.Vgraph.views <-
+        List.map
+          (fun (vn, items) ->
+            (vn, items @ [ Vgraph.Text { label = "!fault"; value = reason; raw = Vgraph.Fstr reason } ]))
+          b.Vgraph.views);
   Vbox b.Vgraph.id
 
 and eval_bindings st env bindings =
@@ -590,10 +659,10 @@ and eval_item st env box it : Vgraph.item list =
 
 type result = { graph : Vgraph.t; plots : Vgraph.box_id list }
 
-let run_exn ?(cfg = default_config) ?(defs = []) tgt program =
+let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt program =
   let st =
     { tgt; cfg; graph = Vgraph.create (); defs = Hashtbl.create 32; memo = Hashtbl.create 256;
-      box_budget = max_boxes }
+      limits; box_budget = max_boxes }
   in
   List.iter (fun d -> Hashtbl.replace st.defs d.bname d) defs;
   let env = ref [] in
@@ -614,5 +683,5 @@ let run_exn ?(cfg = default_config) ?(defs = []) tgt program =
 
 (* Surface target-layer failures (bad member paths, derefs, ...) as
    ViewCL errors. *)
-let run ?cfg ?defs tgt program =
-  try run_exn ?cfg ?defs tgt program with Invalid_argument m -> fail "%s" m
+let run ?cfg ?defs ?limits tgt program =
+  try run_exn ?cfg ?defs ?limits tgt program with Invalid_argument m -> fail "%s" m

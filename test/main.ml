@@ -10,6 +10,7 @@ let () =
       ("kmaple", Test_kmaple.suite);
       ("kernel", Test_kernel.suite);
       ("khelpers", Test_khelpers.suite);
+      ("faults", Test_faults.suite);
       ("viewcl", Test_viewcl.suite);
       ("viewql", Test_viewql.suite);
       ("render+panel", Test_render_panel.suite);
