@@ -2,10 +2,11 @@
 #
 # `make check` is what CI (and the next contributor) should run: it
 # builds everything including the examples, runs the full test suite,
-# and does one bench smoke iteration so that a broken build or a broken
-# evaluation shape is caught mechanically.
+# exercises the fault-injected transport path (bench smoke at two fault
+# rates), lints formatting, and does one full bench iteration so that a
+# broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench check clean
+.PHONY: all test bench bench-smoke fmt-check ci check clean
 
 all:
 	dune build @all
@@ -16,7 +17,22 @@ test: all
 bench:
 	dune exec bench/main.exe
 
-check: test bench
+# Degradation table only: the Table 2 workload over a faulty serial
+# link at a clean and a lossy rate. Asserts every plot completes and
+# prints the breaker/retry/budget counters.
+bench-smoke: all
+	dune exec bench/main.exe -- --fault-rate 0.0,0.05 --profile kgdb_rpi400 --deadline-ms 500 --seed 7
+
+# No ocamlformat in the build image, so the formatting gate is a
+# whitespace lint: no tabs or trailing blanks in source files.
+fmt-check:
+	@if grep -rnP '[ \t]+$$|\t' --include='*.ml' --include='*.mli' lib bin bench test; then \
+		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
+	else echo "fmt-check: clean"; fi
+
+ci: all test bench-smoke fmt-check
+
+check: ci bench
 
 clean:
 	dune clean

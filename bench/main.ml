@@ -375,10 +375,70 @@ let microbench () =
   run_bechamel tests
 
 (* ------------------------------------------------------------------ *)
+(* Degradation table: the whole Table 2 workload over a faulty link.
+   Enabled by --fault-rate; the robustness/latency tradeoff in one
+   table per rate (see ISSUE 2 / DESIGN.md §6). *)
 
-let () =
-  Printf.printf
-    "Visualinux reproduction benchmark - paper: Understanding the Linux Kernel, Visually (EuroSys'25)\n";
+let profile_of_name = function
+  | "qemu" | "qemu_local" -> Target.qemu_local
+  | "kgdb_rpi" -> Target.kgdb_rpi
+  | "kgdb_rpi400" -> Target.kgdb_rpi400
+  | p -> failwith (Printf.sprintf "unknown profile %S (qemu_local|kgdb_rpi|kgdb_rpi400)" p)
+
+let degradation ~rates ~profile ~deadline_ms ~seed =
+  section
+    (Printf.sprintf "Degradation: Table 2 figures over a faulty %s link%s (seed %d)"
+       profile.Target.pname
+       (match deadline_ms with
+       | Some d -> Printf.sprintf ", %.0f ms budget/plot" d
+       | None -> "")
+       seed);
+  Printf.printf "%-6s %5s %6s %7s %7s %6s %7s %5s %6s %8s %8s %10s\n" "rate" "plots"
+    "boxes" "broken" "retries" "drops" "stalls" "disc" "trips" "refused" "dl-hits" "sim-ms";
+  List.iter
+    (fun rate ->
+      let kernel = Kstate.boot () in
+      let w = Workload.create kernel in
+      Workload.run w;
+      let tr =
+        Transport.create ~seed ~faults:(Transport.faults_of_rate rate) profile
+      in
+      Transport.set_deadline tr deadline_ms;
+      let s = Visualinux.attach ~transport:tr kernel in
+      let plots = ref 0 and failed = ref 0 and boxes = ref 0 and broken = ref 0 in
+      List.iter
+        (fun (sc : Scripts.script) ->
+          (match Visualinux.plot_figure s sc with
+          | _, res, _ ->
+              incr plots;
+              boxes := !boxes + Vgraph.box_count res.Viewcl.graph;
+              broken :=
+                !broken
+                + List.length
+                    (List.filter (fun b -> Vgraph.broken b <> None)
+                       (Vgraph.boxes res.Viewcl.graph))
+          | exception _ -> incr failed);
+          (* a dead link stays dead until resynced: reconnect between
+             figures, as the interactive session's `recover` would *)
+          if Transport.link tr = Transport.Down then Transport.reconnect tr)
+        Scripts.table2;
+      let sn = Transport.snapshot tr in
+      Printf.printf "%-6.3f %5d %6d %7d %7d %6d %7d %5d %6d %8d %8d %10.1f\n" rate !plots
+        !boxes !broken sn.Transport.retries sn.Transport.drops sn.Transport.stalls
+        sn.Transport.disconnects sn.Transport.breaker_trips sn.Transport.short_circuits
+        sn.Transport.deadline_hits sn.Transport.sim_ms;
+      Printf.printf "       %s\n" (Render.transport_line tr);
+      (* resilience contract: every plot completes, whatever the link does *)
+      assert (!failed = 0 && !plots = List.length Scripts.table2))
+    rates;
+  print_endline
+    "\n(plots always complete: link trouble degrades to broken boxes / truncated\n\
+    \ traversals, never an exception; refused = breaker short-circuits,\n\
+    \ dl-hits = reads refused by the per-plot deadline budget)"
+
+(* ------------------------------------------------------------------ *)
+
+let full_suite () =
   table2 ();
   table3 ();
   table4 ();
@@ -393,3 +453,27 @@ let () =
   print_endline "  C2  10/10 objectives synthesized by the NL frontend (Table 3)";
   print_endline "  C3  StackRot UAF + Dirty Pipe shared page reproduced (Figs 4/5/7)";
   print_endline "  C4  KGDB ~50x slower than local QEMU; ViewQL cost negligible (Table 4)"
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec get k = function
+    | a :: v :: _ when a = k -> Some v
+    | _ :: tl -> get k tl
+    | [] -> None
+  in
+  Printf.printf
+    "Visualinux reproduction benchmark - paper: Understanding the Linux Kernel, Visually (EuroSys'25)\n";
+  match get "--fault-rate" args with
+  | Some rs ->
+      (* degradation-table mode: skip the (slow) full suite and measure
+         the fault-injected path at each requested rate *)
+      let rates = List.map float_of_string (String.split_on_char ',' rs) in
+      let profile =
+        profile_of_name (Option.value (get "--profile" args) ~default:"kgdb_rpi400")
+      in
+      let deadline_ms = Option.map float_of_string (get "--deadline-ms" args) in
+      let seed =
+        Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
+      in
+      degradation ~rates ~profile ~deadline_ms ~seed
+  | None -> full_suite ()

@@ -20,7 +20,10 @@ let boot_session seed iters =
   let kernel = Kstate.boot () in
   let w = Workload.create ~seed kernel in
   Workload.run ~iters w;
-  Visualinux.attach kernel
+  (* A fault-free local link by default: pure latency accounting until
+     the user turns faults on with `link rate`. *)
+  let transport = Transport.create Transport.qemu_local in
+  Visualinux.attach ~transport kernel
 
 (* common options *)
 let seed_arg =
@@ -184,11 +187,19 @@ let repl_help =
   vplot auto <type> <C-expr>
                          synthesize a trivial ViewCL program for a struct
   vctrl ql <pane> <viewql ...>    apply ViewQL to a pane
+  vctrl split <pane> <h|v> <fig>  split a pane with a new figure
+  vctrl select <pane> <box-ids..> pick boxes into a secondary pane
   vctrl focus <hex-addr>          find an object in all panes
   vctrl close <pane>              close a pane
   vchat <pane> <text>    natural language -> ViewQL -> apply
   show <pane> [ascii|dot|svg|json]
-  panes                  list panes
+  panes                  list panes ([STALE] = awaiting re-extraction)
+  link                   show transport health
+  link down | up         force-disconnect / reconnect the target link
+  link rate <r>          fault rates: stalls+drops at r, disconnects r/20
+  link deadline <ms|off> per-plot deadline budget (simulated ms)
+  recover                rebuild the pane layout from the session journal
+  refresh                re-extract stale panes against the live link
   figures                list library figures
   save <file> / quit|exit
 |}
@@ -199,7 +210,195 @@ let repl_cmd =
     let s = boot_session seed iters in
     Printf.printf "visualinux interactive session — %d tasks live. Type 'help'.\n"
       (List.length (Kstate.all_tasks s.Visualinux.kernel));
-    let panes : (int, Vgraph.t) Hashtbl.t = Hashtbl.create 8 in
+    (* Typed command boundary: every branch yields (unit, string) result,
+       so a bad pane id / malformed number / refine on a closed pane is a
+       printed error, never an exception unwinding the session. *)
+    let ( let* ) = Result.bind in
+    let pane_of str =
+      match int_of_string_opt str with
+      | None -> Error (Printf.sprintf "%S is not a pane id" str)
+      | Some id -> (
+          match Panel.pane_opt s.Visualinux.panel id with
+          | None -> Error (Printf.sprintf "no pane %d (try 'panes')" id)
+          | Some p -> Ok p)
+    in
+    let int_of str what =
+      match int_of_string_opt str with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "%S is not %s" str what)
+    in
+    let float_of str what =
+      match float_of_string_opt str with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "%S is not %s" str what)
+    in
+    let script_of fig =
+      match Scripts.find fig with
+      | Some sc -> Ok sc
+      | None -> Error (Printf.sprintf "unknown figure %s (try 'figures')" fig)
+    in
+    let with_link f =
+      match Target.transport s.Visualinux.target with
+      | Some tr -> f tr
+      | None -> Error "no transport attached"
+    in
+    let exec words : (unit, string) result =
+      match words with
+      | [] -> Ok ()
+      | [ "help" ] ->
+          print_string repl_help;
+          Ok ()
+      | [ "figures" ] ->
+          List.iter
+            (fun sc -> Printf.printf "  %-12s %s\n" sc.Scripts.fig sc.Scripts.descr)
+            Scripts.table2;
+          Ok ()
+      | [ "panes" ] ->
+          List.iter
+            (fun id ->
+              let p = Panel.pane s.Visualinux.panel id in
+              Printf.printf "  pane %d: %s (%d boxes)%s\n" id
+                (match p.Panel.kind with
+                | Panel.Primary _ -> "primary"
+                | Panel.Secondary _ -> "secondary")
+                (Vgraph.box_count p.Panel.graph)
+                (if p.Panel.stale then " [STALE]" else ""))
+            (Panel.pane_ids s.Visualinux.panel);
+          Ok ()
+      | "vplot" :: "auto" :: ty :: rest ->
+          let expr = String.concat " " rest in
+          let pane, res, _ = Visualinux.vplot_auto s ~typ:ty ~expr in
+          Printf.printf "pane %d: %d boxes\n" pane.Panel.pid
+            (Vgraph.box_count res.Viewcl.graph);
+          Ok ()
+      | [ "vplot"; fig ] ->
+          let* sc = script_of fig in
+          let pane, _, stats = Visualinux.plot_figure s sc in
+          Printf.printf "pane %d: %d boxes, %d reads\n" pane.Panel.pid
+            stats.Visualinux.boxes stats.Visualinux.reads;
+          Ok ()
+      | "vctrl" :: "ql" :: pane :: rest ->
+          let* p = pane_of pane in
+          let n = Panel.refine s.Visualinux.panel ~at:p.Panel.pid (String.concat " " rest) in
+          Printf.printf "%d boxes updated\n" n;
+          Ok ()
+      | [ "vctrl"; "split"; pane; d; fig ] -> (
+          let* p = pane_of pane in
+          let* dir =
+            match d with
+            | "h" -> Ok `Horizontal
+            | "v" -> Ok `Vertical
+            | _ -> Error (Printf.sprintf "%S is not h or v" d)
+          in
+          let* sc = script_of fig in
+          match
+            Visualinux.vctrl s
+              (Visualinux.Split { pane = p.Panel.pid; dir; program = sc.Scripts.source })
+          with
+          | Visualinux.Opened id ->
+              Printf.printf "pane %d opened\n" id;
+              Ok ()
+          | _ -> Error "unexpected vctrl result")
+      | "vctrl" :: "select" :: pane :: boxes -> (
+          let* p = pane_of pane in
+          let* ids =
+            List.fold_left
+              (fun acc b ->
+                let* acc = acc in
+                let* id = int_of b "a box id" in
+                Ok (id :: acc))
+              (Ok []) boxes
+          in
+          match
+            Visualinux.vctrl s
+              (Visualinux.Select { pane = p.Panel.pid; boxes = List.rev ids })
+          with
+          | Visualinux.Opened id ->
+              Printf.printf "pane %d opened\n" id;
+              Ok ()
+          | _ -> Error "unexpected vctrl result")
+      | [ "vctrl"; "focus"; addr ] ->
+          let* a = int_of addr "an address" in
+          let hits = Panel.focus s.Visualinux.panel ~addr:a in
+          List.iter (fun (pid, bid) -> Printf.printf "  pane %d: box #%d\n" pid bid) hits;
+          if hits = [] then print_endline "  (not found)";
+          Ok ()
+      | [ "vctrl"; "close"; pane ] ->
+          let* p = pane_of pane in
+          Panel.close s.Visualinux.panel p.Panel.pid;
+          print_endline "closed";
+          Ok ()
+      | "vchat" :: pane :: rest ->
+          let* p = pane_of pane in
+          let prog, n = Visualinux.vchat s ~pane:p.Panel.pid (String.concat " " rest) in
+          Printf.printf "%s\n%d boxes updated\n" prog n;
+          Ok ()
+      | [ "show"; pane ] | [ "show"; pane; "ascii" ] -> (
+          let* p = pane_of pane in
+          match Visualinux.render_pane s p.Panel.pid with
+          | Some out ->
+              print_string out;
+              Ok ()
+          | None -> Error (Printf.sprintf "no pane %d" p.Panel.pid))
+      | [ "show"; pane; "dot" ] ->
+          let* p = pane_of pane in
+          print_string (Render.dot p.Panel.graph);
+          Ok ()
+      | [ "show"; pane; "svg" ] ->
+          let* p = pane_of pane in
+          print_string (Render.svg p.Panel.graph);
+          Ok ()
+      | [ "show"; pane; "json" ] ->
+          let* p = pane_of pane in
+          print_string (Vgraph.to_json p.Panel.graph);
+          Ok ()
+      | [ "link" ] ->
+          with_link (fun tr ->
+              print_endline (Render.transport_line tr);
+              Ok ())
+      | [ "link"; "down" ] ->
+          with_link (fun tr ->
+              Transport.disconnect tr;
+              Panel.mark_all_stale s.Visualinux.panel;
+              print_endline "link down — panes are stale until 'recover'";
+              Ok ())
+      | [ "link"; "up" ] ->
+          with_link (fun tr ->
+              Transport.reconnect tr;
+              print_endline (Render.transport_line tr);
+              Ok ())
+      | [ "link"; "rate"; r ] ->
+          with_link (fun tr ->
+              let* rate = float_of r "a fault rate" in
+              Transport.set_faults tr (Transport.faults_of_rate rate);
+              Ok ())
+      | [ "link"; "deadline"; "off" ] ->
+          with_link (fun tr ->
+              Transport.set_deadline tr None;
+              Ok ())
+      | [ "link"; "deadline"; ms ] ->
+          with_link (fun tr ->
+              let* d = float_of ms "a deadline in ms" in
+              Transport.set_deadline tr (Some d);
+              Ok ())
+      | [ "recover" ] ->
+          let stale = Visualinux.recover s in
+          Printf.printf "recovered %d panes (%d stale)\n"
+            (List.length (Panel.pane_ids s.Visualinux.panel))
+            stale;
+          Ok ()
+      | [ "refresh" ] ->
+          let ids = Visualinux.refresh_stale s in
+          Printf.printf "refreshed %d panes\n" (List.length ids);
+          Ok ()
+      | [ "save"; file ] ->
+          let oc = open_out file in
+          output_string oc (Panel.to_json s.Visualinux.panel);
+          close_out oc;
+          Printf.printf "session saved to %s\n" file;
+          Ok ()
+      | w :: _ -> Error (Printf.sprintf "unknown command %S (try 'help')" w)
+    in
     let rec loop () =
       print_string "(visualinux) ";
       match input_line stdin with
@@ -208,89 +407,24 @@ let repl_cmd =
           let words =
             String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
           in
-          (try
-             match words with
-             | [] -> ()
-             | [ "quit" ] | [ "exit" ] -> raise Exit
-             | [ "help" ] -> print_string repl_help
-             | [ "figures" ] ->
-                 List.iter
-                   (fun sc -> Printf.printf "  %-12s %s\n" sc.Scripts.fig sc.Scripts.descr)
-                   Scripts.table2
-             | [ "panes" ] ->
-                 List.iter
-                   (fun id ->
-                     let p = Panel.pane s.Visualinux.panel id in
-                     Printf.printf "  pane %d: %s (%d boxes)\n" id
-                       (match p.Panel.kind with
-                       | Panel.Primary _ -> "primary"
-                       | Panel.Secondary _ -> "secondary")
-                       (Vgraph.box_count p.Panel.graph))
-                   (Panel.pane_ids s.Visualinux.panel)
-             | "vplot" :: "auto" :: ty :: rest ->
-                 let expr = String.concat " " rest in
-                 let pane, res, _ = Visualinux.vplot_auto s ~typ:ty ~expr in
-                 Hashtbl.replace panes pane.Panel.pid res.Viewcl.graph;
-                 Printf.printf "pane %d: %d boxes\n" pane.Panel.pid
-                   (Vgraph.box_count res.Viewcl.graph)
-             | [ "vplot"; fig ] -> (
-                 match Scripts.find fig with
-                 | None -> Printf.printf "unknown figure %s\n" fig
-                 | Some sc ->
-                     let pane, res, stats = Visualinux.plot_figure s sc in
-                     Hashtbl.replace panes pane.Panel.pid res.Viewcl.graph;
-                     Printf.printf "pane %d: %d boxes, %d reads\n" pane.Panel.pid
-                       stats.Visualinux.boxes stats.Visualinux.reads)
-             | "vctrl" :: "ql" :: pane :: rest ->
-                 let n =
-                   Panel.refine s.Visualinux.panel ~at:(int_of_string pane)
-                     (String.concat " " rest)
-                 in
-                 Printf.printf "%d boxes updated\n" n
-             | [ "vctrl"; "focus"; addr ] ->
-                 let hits = Panel.focus s.Visualinux.panel ~addr:(int_of_string addr) in
-                 List.iter
-                   (fun (pid, bid) -> Printf.printf "  pane %d: box #%d\n" pid bid)
-                   hits;
-                 if hits = [] then print_endline "  (not found)"
-             | [ "vctrl"; "close"; pane ] ->
-                 Panel.close s.Visualinux.panel (int_of_string pane);
-                 print_endline "closed"
-             | "vchat" :: pane :: rest ->
-                 let prog, n =
-                   Visualinux.vchat s ~pane:(int_of_string pane) (String.concat " " rest)
-                 in
-                 Printf.printf "%s\n%d boxes updated\n" prog n
-             | [ "show"; pane ] | [ "show"; pane; "ascii" ] ->
-                 let p = Panel.pane s.Visualinux.panel (int_of_string pane) in
-                 let roots =
-                   match p.Panel.kind with
-                   | Panel.Secondary { picked; _ } -> Some picked
-                   | Panel.Primary _ -> None
-                 in
-                 print_string (Render.ascii ?roots p.Panel.graph)
-             | [ "show"; pane; "dot" ] ->
-                 print_string (Render.dot (Panel.pane s.Visualinux.panel (int_of_string pane)).Panel.graph)
-             | [ "show"; pane; "svg" ] ->
-                 print_string (Render.svg (Panel.pane s.Visualinux.panel (int_of_string pane)).Panel.graph)
-             | [ "show"; pane; "json" ] ->
-                 print_string (Vgraph.to_json (Panel.pane s.Visualinux.panel (int_of_string pane)).Panel.graph)
-             | [ "save"; file ] ->
-                 let oc = open_out file in
-                 output_string oc (Panel.to_json s.Visualinux.panel);
-                 close_out oc;
-                 Printf.printf "session saved to %s\n" file
-             | w :: _ -> Printf.printf "unknown command %S (try 'help')\n" w
-           with
-          | Exit -> raise Exit
-          | Viewcl.Error m | Viewql.Error m -> Printf.printf "error: %s\n" m
-          | Vchat.Cannot_synthesize _ -> print_endline "error: cannot synthesize ViewQL"
-          | Failure m -> Printf.printf "error: %s\n" m
-          | Invalid_argument m -> Printf.printf "error: %s\n" m
-          | Not_found -> print_endline "error: not found");
-          loop ())
+          match words with
+          | [ "quit" ] | [ "exit" ] -> ()
+          | _ ->
+              (* last-resort net: domain errors are typed above, but a
+                 malformed ViewCL/ViewQL program still raises from the
+                 parsers — keep those inside the loop too *)
+              (match
+                 try exec words with
+                 | Viewcl.Error m | Viewql.Error m -> Error m
+                 | Vchat.Cannot_synthesize _ -> Error "cannot synthesize ViewQL"
+                 | Failure m | Invalid_argument m -> Error m
+                 | Not_found -> Error "not found"
+               with
+              | Ok () -> ()
+              | Error m -> Printf.printf "error: %s\n" m);
+              loop ())
     in
-    (try loop () with Exit -> ());
+    loop ();
     print_endline "bye."
   in
   Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ seed_arg $ iters_arg)

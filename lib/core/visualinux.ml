@@ -13,7 +13,7 @@ module Objectives = Objectives
 type session = {
   kernel : Kstate.t;
   target : Target.t;
-  panel : Panel.t;
+  mutable panel : Panel.t;  (** replaced wholesale by {!recover} *)
   cfg : Viewcl.config;
   mutable target_pid : int;
 }
@@ -27,9 +27,12 @@ let emojis =
 let config () = { Viewcl.flags = Ktypes.flag_tables; emojis }
 
 (** Attach to a booted kernel. [target_pid] (default: the first user
-    process) is exposed to ViewCL scripts as a macro. *)
-let attach ?target_pid kernel =
+    process) is exposed to ViewCL scripts as a macro. [transport], when
+    given, routes every target read over a simulated debugger link
+    (latency accounting, fault injection, retry/backoff, breaker). *)
+let attach ?target_pid ?transport kernel =
   let target = Khelpers.attach kernel in
+  Option.iter (Target.set_transport target) transport;
   let pid =
     match target_pid with
     | Some p -> p
@@ -69,11 +72,13 @@ type plot_stats = {
   reads : int;  (** target read operations during extraction *)
   read_bytes : int;
   wall_ms : float;  (** actual OCaml wall-clock extraction time *)
+  link : Transport.snapshot option;  (** transport health, when attached *)
 }
 
 (** vplot: evaluate ViewCL source, open a primary pane with the plot. *)
 let vplot s ?(title = "plot") src =
   Target.reset_stats s.target;
+  Option.iter Transport.begin_plot (Target.transport s.target);
   let t0 = Unix.gettimeofday () in
   let res = Viewcl.run ~cfg:s.cfg s.target src in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
@@ -82,7 +87,8 @@ let vplot s ?(title = "plot") src =
   let pane = Panel.open_primary s.panel ~program:src res.Viewcl.graph in
   let stats =
     { boxes = Vgraph.box_count res.Viewcl.graph; bytes = Vgraph.total_bytes res.Viewcl.graph;
-      reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms }
+      reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms;
+      link = Option.map Transport.snapshot (Target.transport s.target) }
   in
   (pane, res, stats)
 
@@ -104,6 +110,7 @@ let vctrl s cmd =
   match cmd with
   | Apply { pane; viewql } -> Updated (Panel.refine s.panel ~at:pane viewql)
   | Split { pane; dir; program } ->
+      Option.iter Transport.begin_plot (Target.transport s.target);
       let res = Viewcl.run ~cfg:s.cfg s.target program in
       let p = Panel.split s.panel ~dir ~at:pane ~program res.Viewcl.graph in
       Opened p.Panel.pid
@@ -143,6 +150,56 @@ let replay s programs =
       List.iter (fun ql -> ignore (Panel.refine s.panel ~at:pane.Panel.pid ql)) history;
       (pane, res))
     programs
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: the panel journals every session op; after the link
+   dies mid-extraction, [recover] reconnects and replays the journal
+   against the same kernel.  Plotting is read-only, so replaying a
+   program yields the same graph — and Vgraph box ids are assigned
+   per-graph sequentially, so the recovered panes carry the same box
+   ids the pre-crash session had. *)
+
+(** Run one ViewCL program for pane recovery; [None] when the link is
+    (still) unusable, so the pane comes back [stale] instead of empty. *)
+let extract_for s program =
+  match Target.transport s.target with
+  | Some tr when Transport.link tr = Transport.Down -> None
+  | tr_opt -> (
+      Option.iter Transport.begin_plot tr_opt;
+      try Some (Viewcl.run ~cfg:s.cfg s.target program).Viewcl.graph
+      with _ -> None)
+
+(** Rebuild the whole pane layout from the session journal (or an
+    explicitly supplied one, e.g. loaded from disk).  Reconnects a dead
+    link first.  Returns the number of panes that came back stale. *)
+let recover ?ops s =
+  (match Target.transport s.target with
+  | Some tr when Transport.link tr = Transport.Down -> Transport.reconnect tr
+  | _ -> ());
+  let ops = match ops with Some o -> o | None -> Panel.journal s.panel in
+  let panel, stale = Panel.recover ~extract:(extract_for s) ops in
+  s.panel <- panel;
+  stale
+
+(** Re-extract every stale pane; returns the ids brought back live. *)
+let refresh_stale s =
+  List.filter
+    (fun id -> Panel.refresh s.panel ~at:id ~extract:(extract_for s))
+    (Panel.stale_ids s.panel)
+
+(** Render one pane as ASCII, with its [STALE] tag and the transport
+    health line when a link is attached. *)
+let render_pane s id =
+  Option.map
+    (fun p ->
+      let roots =
+        match p.Panel.kind with
+        | Panel.Secondary { picked; _ } -> Some picked
+        | Panel.Primary _ -> None
+      in
+      Render.ascii ?roots ~stale:p.Panel.stale
+        ?transport:(Target.transport s.target) p.Panel.graph)
+    (Panel.pane_opt s.panel id)
 
 (* ------------------------------------------------------------------ *)
 (* Naive ViewCL synthesis (paper §4: "vplot ... can also synthesize naive

@@ -18,6 +18,7 @@ type pane = {
   graph : Vgraph.t;
   session : Viewql.session;  (** named ViewQL sets persist per pane *)
   mutable history : string list;  (** ViewQL programs applied, oldest first *)
+  mutable stale : bool;  (** graph predates the last target crash *)
 }
 
 type layout =
@@ -25,27 +26,48 @@ type layout =
   | Hsplit of layout * layout  (** side by side *)
   | Vsplit of layout * layout  (** stacked *)
 
+(** The crash-safe session journal: every layout-mutating operation, in
+    order. Replaying it against a (reconnected) target reconstructs the
+    whole layout — pane ids are assigned by the same sequence, so they
+    come out identical to the pre-crash session. *)
+type op =
+  | Jopen of { program : string }
+  | Jsplit of { dir : [ `Horizontal | `Vertical ]; at : pane_id; program : string }
+  | Jselect of { from_ : pane_id; picked : Vgraph.box_id list }
+  | Jrefine of { at : pane_id; viewql : string }
+  | Jclose of { id : pane_id }
+
 type t = {
   panes : (pane_id, pane) Hashtbl.t;
   mutable layout : layout option;
   mutable next_id : int;
+  mutable journal_rev : op list;  (** newest first; checkpointed per op *)
 }
 
-let create () = { panes = Hashtbl.create 8; layout = None; next_id = 1 }
+let create () =
+  { panes = Hashtbl.create 8; layout = None; next_id = 1; journal_rev = [] }
 
 let pane t id =
   match Hashtbl.find_opt t.panes id with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Panel: no pane %d" id)
 
+let pane_opt t id = Hashtbl.find_opt t.panes id
 let pane_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.panes [] |> List.sort compare
+let journal t = List.rev t.journal_rev
+let checkpoint t op = t.journal_rev <- op :: t.journal_rev
 
-let fresh t kind graph =
+let fresh ?(stale = false) t kind graph =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let p = { pid = id; kind; graph; session = Viewql.make_session graph; history = [] } in
+  let p =
+    { pid = id; kind; graph; session = Viewql.make_session graph; history = []; stale }
+  in
   Hashtbl.replace t.panes id p;
   p
+
+let mark_all_stale t = Hashtbl.iter (fun _ p -> p.stale <- true) t.panes
+let stale_ids t = List.filter (fun id -> (pane t id).stale) (pane_ids t)
 
 (* Replace [Leaf old] in the layout with [mk (Leaf old) (Leaf new)]. *)
 let rec splice layout old mk fresh_leaf =
@@ -56,21 +78,23 @@ let rec splice layout old mk fresh_leaf =
   | Vsplit (a, b) -> Vsplit (splice a old mk fresh_leaf, splice b old mk fresh_leaf)
 
 (** Open the first primary pane. *)
-let open_primary t ~program graph =
-  let p = fresh t (Primary { program }) graph in
+let open_primary ?stale t ~program graph =
+  let p = fresh ?stale t (Primary { program }) graph in
   (match t.layout with
   | None -> t.layout <- Some (Leaf p.pid)
   | Some l -> t.layout <- Some (Hsplit (l, Leaf p.pid)));
+  checkpoint t (Jopen { program });
   p
 
 (** Split an existing pane, placing a new primary pane next to it. *)
-let split t ~dir ~at ~program graph =
+let split ?stale t ~dir ~at ~program graph =
   ignore (pane t at);
-  let p = fresh t (Primary { program }) graph in
+  let p = fresh ?stale t (Primary { program }) graph in
   let mk a b = match dir with `Horizontal -> Hsplit (a, b) | `Vertical -> Vsplit (a, b) in
   (match t.layout with
   | None -> t.layout <- Some (Leaf p.pid)
   | Some l -> t.layout <- Some (splice l at mk (Leaf p.pid)));
+  checkpoint t (Jsplit { dir; at; program });
   p
 
 (** Select boxes from [src] into a new secondary pane (shares the graph:
@@ -78,10 +102,11 @@ let split t ~dir ~at ~program graph =
     with everything else trimmed in its own rendering set). *)
 let select t ~from:src ids =
   let sp = pane t src in
-  let p = fresh t (Secondary { source = src; picked = ids }) sp.graph in
+  let p = fresh ~stale:sp.stale t (Secondary { source = src; picked = ids }) sp.graph in
   (match t.layout with
   | None -> t.layout <- Some (Leaf p.pid)
   | Some l -> t.layout <- Some (splice l src (fun a b -> Vsplit (a, b)) (Leaf p.pid)));
+  checkpoint t (Jselect { from_ = src; picked = ids });
   p
 
 (** Refine a pane by a ViewQL program; returns #boxes updated. *)
@@ -89,6 +114,7 @@ let refine t ~at src =
   let p = pane t at in
   let n = Viewql.exec p.session src in
   p.history <- p.history @ [ src ];
+  checkpoint t (Jrefine { at; viewql = src });
   n
 
 (** Cross-pane focus: find the object at [addr] in every pane. *)
@@ -102,6 +128,7 @@ let focus t ~addr =
     (pane_ids t)
 
 let close t id =
+  if Hashtbl.mem t.panes id then checkpoint t (Jclose { id });
   Hashtbl.remove t.panes id;
   let rec prune = function
     | Leaf x when x = id -> None
@@ -171,3 +198,121 @@ let saved_programs t =
       | Primary { program } -> Some (program, p.history)
       | Secondary _ -> None)
     (pane_ids t)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe recovery: the journal is the session.  Serialize it after
+   every op (it is cheap: one record per user action) and a crashed
+   session can be rebuilt against a reconnected target by replaying. *)
+
+let op_to_json = function
+  | Jopen { program } ->
+      Printf.sprintf "{\"op\":\"open\",\"program\":\"%s\"}" (Vgraph.json_escape program)
+  | Jsplit { dir; at; program } ->
+      Printf.sprintf "{\"op\":\"split\",\"dir\":\"%s\",\"at\":%d,\"program\":\"%s\"}"
+        (match dir with `Horizontal -> "h" | `Vertical -> "v")
+        at (Vgraph.json_escape program)
+  | Jselect { from_; picked } ->
+      Printf.sprintf "{\"op\":\"select\",\"from\":%d,\"picked\":[%s]}" from_
+        (String.concat "," (List.map string_of_int picked))
+  | Jrefine { at; viewql } ->
+      Printf.sprintf "{\"op\":\"refine\",\"at\":%d,\"viewql\":\"%s\"}" at
+        (Vgraph.json_escape viewql)
+  | Jclose { id } -> Printf.sprintf "{\"op\":\"close\",\"id\":%d}" id
+
+let journal_to_json t =
+  Printf.sprintf "{\"journal\":[%s]}"
+    (String.concat "," (List.map op_to_json (journal t)))
+
+let journal_of_json json =
+  let j = Json.parse json in
+  match Json.member "journal" j with
+  | Some (Json.List ops) ->
+      List.filter_map
+        (fun o ->
+          let str k = Option.map Json.to_str (Json.member k o) in
+          let int k = Option.map Json.to_int (Json.member k o) in
+          match str "op" with
+          | Some "open" ->
+              Option.map (fun program -> Jopen { program }) (str "program")
+          | Some "split" -> (
+              match (str "dir", int "at", str "program") with
+              | Some d, Some at, Some program ->
+                  Some
+                    (Jsplit
+                       { dir = (if d = "v" then `Vertical else `Horizontal);
+                         at; program })
+              | _ -> None)
+          | Some "select" -> (
+              match (int "from", Json.member "picked" o) with
+              | Some from_, Some (Json.List ps) ->
+                  Some (Jselect { from_; picked = List.map Json.to_int ps })
+              | _ -> None)
+          | Some "refine" -> (
+              match (int "at", str "viewql") with
+              | Some at, Some viewql -> Some (Jrefine { at; viewql })
+              | _ -> None)
+          | Some "close" -> Option.map (fun id -> Jclose { id }) (int "id")
+          | _ -> None)
+        ops
+  | _ -> []
+
+(** Replay a journal against a reconnected target.  [extract] runs a
+    pane's ViewCL program against the new target; when it fails (link
+    still down, budget spent) the pane is created anyway — empty graph,
+    [stale] flag set — so pane ids keep the pre-crash numbering and a
+    later {!refresh} can fill it in.  Ops referencing panes that no
+    longer resolve are skipped, never raised: recovery of a damaged
+    journal degrades to a partial layout.  Returns the rebuilt panel
+    and the number of panes that came back stale. *)
+let recover ~extract ops =
+  let t = create () in
+  let failed = ref 0 in
+  let graph_for program =
+    match (try extract program with _ -> None) with
+    | Some g -> (g, false)
+    | None ->
+        incr failed;
+        (Vgraph.create (), true)
+  in
+  List.iter
+    (fun op ->
+      try
+        match op with
+        | Jopen { program } ->
+            let g, stale = graph_for program in
+            ignore (open_primary ~stale t ~program g)
+        | Jsplit { dir; at; program } ->
+            let g, stale = graph_for program in
+            if Hashtbl.mem t.panes at then ignore (split ~stale t ~dir ~at ~program g)
+            else ignore (open_primary ~stale t ~program g)
+        | Jselect { from_; picked } ->
+            if Hashtbl.mem t.panes from_ then ignore (select t ~from:from_ picked)
+        | Jrefine { at; viewql } ->
+            if Hashtbl.mem t.panes at then ignore (refine t ~at viewql)
+        | Jclose { id } -> close t id
+      with _ -> ())
+    ops;
+  (t, !failed)
+
+(** Re-extract one stale primary pane against a (recovered) target and
+    replay its ViewQL history onto the fresh graph.  Secondary panes
+    refresh implicitly: they share their source's graph object only at
+    creation, so the caller re-selects if needed.  Returns [true] when
+    the pane is live again. *)
+let refresh t ~at ~extract =
+  match pane_opt t at with
+  | None -> false
+  | Some p -> (
+      match p.kind with
+      | Secondary _ -> false
+      | Primary { program } -> (
+          match (try extract program with _ -> None) with
+          | None -> false
+          | Some graph ->
+              let session = Viewql.make_session graph in
+              List.iter
+                (fun h -> try ignore (Viewql.exec session h) with _ -> ())
+                p.history;
+              Hashtbl.replace t.panes at
+                { p with graph; session; stale = false };
+              true))

@@ -20,10 +20,21 @@ type pane = {
   graph : Vgraph.t;
   session : Viewql.session;  (** named ViewQL sets persist per pane *)
   mutable history : string list;  (** ViewQL programs applied, oldest first *)
+  mutable stale : bool;
+      (** the graph predates the last target crash; rendered with a
+          [STALE] tag until re-extracted via {!refresh} *)
 }
 
 (** The split tree. *)
 type layout = Leaf of pane_id | Hsplit of layout * layout | Vsplit of layout * layout
+
+(** One journaled session operation (see {!journal}). *)
+type op =
+  | Jopen of { program : string }
+  | Jsplit of { dir : [ `Horizontal | `Vertical ]; at : pane_id; program : string }
+  | Jselect of { from_ : pane_id; picked : Vgraph.box_id list }
+  | Jrefine of { at : pane_id; viewql : string }
+  | Jclose of { id : pane_id }
 
 type t
 
@@ -32,13 +43,17 @@ val create : unit -> t
 val pane : t -> pane_id -> pane
 (** @raise Invalid_argument on unknown ids. *)
 
+val pane_opt : t -> pane_id -> pane option
+(** Total lookup, for command boundaries that must not raise. *)
+
 val pane_ids : t -> pane_id list
 
-val open_primary : t -> program:string -> Vgraph.t -> pane
+val open_primary : ?stale:bool -> t -> program:string -> Vgraph.t -> pane
 (** Open a primary pane (splitting the root horizontally if the layout is
     non-empty). *)
 
 val split :
+  ?stale:bool ->
   t -> dir:[ `Horizontal | `Vertical ] -> at:pane_id -> program:string -> Vgraph.t -> pane
 (** Split pane [at], placing a new primary pane beside/below it. *)
 
@@ -71,3 +86,35 @@ val programs_of_json : string -> (string * string list) list
 val saved_programs : t -> (string * string list) list
 (** Same, from a live session: every primary pane's ViewCL program and
     its ViewQL history — enough to replay against a fresh target. *)
+
+(** {1 Crash-safe sessions}
+
+    Every layout-mutating operation ({!open_primary}, {!split},
+    {!select}, {!refine}, {!close}) checkpoints itself into an in-order
+    journal. Pane ids are assigned by replay order, so {!recover}
+    rebuilds the exact pre-crash layout — same ids, same histories —
+    against a reconnected target. *)
+
+val journal : t -> op list
+(** The session's ops, oldest first. *)
+
+val journal_to_json : t -> string
+val journal_of_json : string -> op list
+
+val mark_all_stale : t -> unit
+(** Called when the target link drops: every pane's graph is now of
+    unknown freshness. *)
+
+val stale_ids : t -> pane_id list
+
+val recover : extract:(string -> Vgraph.t option) -> op list -> t * int
+(** [recover ~extract ops] replays a journal against a reconnected
+    target; [extract] runs a ViewCL program on it.  Panes whose
+    extraction fails are still created (empty graph, [stale] set) so
+    ids keep the pre-crash numbering; ops that no longer resolve are
+    skipped rather than raised.  Returns the rebuilt panel and the
+    number of stale panes. *)
+
+val refresh : t -> at:pane_id -> extract:(string -> Vgraph.t option) -> bool
+(** Re-extract one stale primary pane and replay its ViewQL history on
+    the fresh graph; [true] when the pane is live again. *)

@@ -89,11 +89,14 @@ let card g b =
       @ [ Printf.sprintf "+-%s-+" bar ])
   end
 
+let transport_line tr = Transport.health_line tr
+
 (** Render the visible subgraph as a sequence of ASCII cards in BFS order
     from the roots. Pass [roots] to render from a different seed set —
     e.g. a secondary pane displaying only the boxes picked from a primary
-    pane (paper §2.4). *)
-let ascii ?roots g =
+    pane (paper §2.4). [stale] tags the header (pane graph predates a
+    target crash); [transport] appends a one-line link-health summary. *)
+let ascii ?roots ?(stale = false) ?transport g =
   let visible =
     match roots with
     | None -> Vgraph.visible g
@@ -107,7 +110,8 @@ let ascii ?roots g =
           (Vgraph.reachable g seeds)
   in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Printf.sprintf "== %s ==\n" (Vgraph.title g));
+  Buffer.add_string buf
+    (Printf.sprintf "== %s%s ==\n" (Vgraph.title g) (if stale then " [STALE]" else ""));
   let emitted = Hashtbl.create 64 in
   let queue = Queue.create () in
   List.iter (fun r -> Queue.add r queue) (Option.value roots ~default:(Vgraph.roots g));
@@ -126,6 +130,9 @@ let ascii ?roots g =
   done;
   let total = Vgraph.box_count g and vis = List.length visible in
   Buffer.add_string buf (Printf.sprintf "(%d boxes, %d visible)\n" total vis);
+  (match transport with
+  | Some tr -> Buffer.add_string buf (transport_line tr ^ "\n")
+  | None -> ());
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

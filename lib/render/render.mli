@@ -13,11 +13,18 @@ val item_lines : Vgraph.t -> Vgraph.box -> string list
 val card : Vgraph.t -> Vgraph.box -> string
 (** One ASCII-framed card (or a collapsed stub). *)
 
-val ascii : ?roots:Vgraph.box_id list -> Vgraph.t -> string
+val ascii :
+  ?roots:Vgraph.box_id list -> ?stale:bool -> ?transport:Transport.t -> Vgraph.t -> string
 (** The visible subgraph as ASCII cards in BFS order from the roots,
     with a trailing [(N boxes, M visible)] summary. [roots] overrides the
     seed set — used to render a secondary pane, which displays only the
-    boxes picked from another pane (and what they reach). *)
+    boxes picked from another pane (and what they reach). [stale] marks
+    the header with a [STALE] tag (the pane's graph predates a target
+    crash and awaits re-extraction); [transport] appends the link's
+    health line (retries, breaker state, budget spent). *)
+
+val transport_line : Transport.t -> string
+(** The transport-health summary appended by {!ascii}. *)
 
 val dot : Vgraph.t -> string
 (** Graphviz digraph (record-shaped nodes, labeled edges). *)

@@ -19,6 +19,8 @@ type fault =
   | Bad_cast of { from_ : string; to_ : string }
   | Injected of { at : addr }
   | Truncated of { at : addr; ctx : string }
+  | Timed_out of { at : addr; ctx : string }
+  | Link_lost of { at : addr; ctx : string; detail : string }
 
 type t = {
   kmem : Kmem.t;
@@ -29,6 +31,7 @@ type t = {
   mutable journal : fault list;  (* newest first *)
   mutable nfaults : int;
   mutable sinks : fault list ref list;  (* innermost with_faults first *)
+  mutable transport : Transport.t option;  (* None: reads are local/free *)
 }
 
 and helper = t -> value list -> value
@@ -43,10 +46,16 @@ let create kmem reg =
     journal = [];
     nfaults = 0;
     sinks = [];
+    transport = None;
   }
 
 let mem t = t.kmem
 let types t = t.reg
+let set_transport t tr = t.transport <- Some tr
+let transport t = t.transport
+
+let deadline_exceeded t =
+  match t.transport with Some tr -> Transport.deadline_exceeded tr | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Fault journal *)
@@ -85,6 +94,8 @@ let fault_to_string = function
   | Bad_cast { from_; to_ } -> Printf.sprintf "bad-cast: %s -> %s" from_ to_
   | Injected { at } -> Printf.sprintf "injected-fault: 0x%x" at
   | Truncated { at; ctx } -> Printf.sprintf "truncated %s at 0x%x" ctx at
+  | Timed_out { at; ctx } -> Printf.sprintf "deadline-exceeded: 0x%x in %s" at ctx
+  | Link_lost { at; ctx; detail } -> Printf.sprintf "link-lost (%s): 0x%x in %s" detail at ctx
 
 let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
 
@@ -121,32 +132,51 @@ let validate t ~ctx a =
     true
   end
 
+(* Route one read over the transport (when attached).  The Kmem thunk
+   only runs if the transport lets the read through: an open breaker, a
+   dead link or an exhausted deadline budget refuses the read entirely,
+   records the matching typed fault, and yields [default] — extraction
+   degrades to broken boxes instead of blocking on a flaky link. *)
+let transported t ~ctx ~at ~bytes ~default perform =
+  match t.transport with
+  | None -> perform ()
+  | Some tr -> (
+      match Transport.fetch tr ~bytes perform with
+      | Ok v -> v
+      | Error err ->
+          (match err with
+          | Transport.Deadline_exceeded -> record_fault t (Timed_out { at; ctx })
+          | err ->
+              record_fault t
+                (Link_lost { at; ctx; detail = Transport.error_to_string err }));
+          default)
+
 let read_scalar t ~ctx a size signed =
   if not (validate t ~ctx a) then 0
-  else begin
-    let c0 = Kmem.fault_count t.kmem in
-    let v =
-      match (size, signed) with
-      | 1, false -> Kmem.read_u8 t.kmem a
-      | 1, true -> Kmem.read_i8 t.kmem a
-      | 2, false -> Kmem.read_u16 t.kmem a
-      | 2, true -> Kmem.read_i16 t.kmem a
-      | 4, false -> Kmem.read_u32 t.kmem a
-      | 4, true -> Kmem.read_i32 t.kmem a
-      | _ -> Kmem.read_u64 t.kmem a
-    in
-    mirror_injected t c0;
-    v
-  end
+  else
+    transported t ~ctx ~at:a ~bytes:size ~default:0 (fun () ->
+        let c0 = Kmem.fault_count t.kmem in
+        let v =
+          match (size, signed) with
+          | 1, false -> Kmem.read_u8 t.kmem a
+          | 1, true -> Kmem.read_i8 t.kmem a
+          | 2, false -> Kmem.read_u16 t.kmem a
+          | 2, true -> Kmem.read_i16 t.kmem a
+          | 4, false -> Kmem.read_u32 t.kmem a
+          | 4, true -> Kmem.read_i32 t.kmem a
+          | _ -> Kmem.read_u64 t.kmem a
+        in
+        mirror_injected t c0;
+        v)
 
 let read_str t ~ctx a reader =
   if not (validate t ~ctx a) then ""
-  else begin
-    let c0 = Kmem.fault_count t.kmem in
-    let s = reader t.kmem a in
-    mirror_injected t c0;
-    s
-  end
+  else
+    transported t ~ctx ~at:a ~bytes:8 ~default:"" (fun () ->
+        let c0 = Kmem.fault_count t.kmem in
+        let s = reader t.kmem a in
+        mirror_injected t c0;
+        s)
 
 (* A pointer about to be followed: a value misaligned for its pointee is
    the signature of a low-bit-tagged or garbage pointer (the paper's
@@ -358,15 +388,19 @@ type stats = { reads : int; bytes : int }
 let stats t = { reads = Kmem.read_count t.kmem; bytes = Kmem.bytes_read t.kmem }
 let reset_stats t = Kmem.reset_counters t.kmem
 
-type profile = { pname : string; rtt_ms : float; byte_ms : float }
+(* The link cost model now lives in Transport (the connection layer owns
+   its own latency profile); re-exported here so existing callers keep
+   working unchanged. *)
+type profile = Transport.profile = {
+  pname : string;
+  rtt_ms : float;
+  byte_ms : float;
+}
 
-(* Per-byte cost pinned to rtt/1024 keeps the transport ratios
-   workload-independent, matching the paper's Table 5 shape: KGDB over
-   serial is ~50x GDB-over-QEMU per figure. *)
-let profile pname rtt_ms = { pname; rtt_ms; byte_ms = rtt_ms /. 1024. }
-let qemu_local = profile "gdb-qemu" 0.05
-let kgdb_rpi = profile "kgdb-rpi3b" 3.0
-let kgdb_rpi400 = profile "kgdb-rpi400" 2.5
+let profile = Transport.profile
+let qemu_local = Transport.qemu_local
+let kgdb_rpi = Transport.kgdb_rpi
+let kgdb_rpi400 = Transport.kgdb_rpi400
 
 let simulated_ms p st =
   (float_of_int st.reads *. p.rtt_ms) +. (float_of_int st.bytes *. p.byte_ms)

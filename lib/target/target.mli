@@ -48,6 +48,13 @@ type fault =
   | Truncated of { at : addr; ctx : string }
       (** a container traversal stopped early: cycle detected or a
           node/depth budget exhausted at [at] *)
+  | Timed_out of { at : addr; ctx : string }
+      (** the transport refused the read because the per-plot deadline
+          budget was already spent *)
+  | Link_lost of { at : addr; ctx : string; detail : string }
+      (** the transport could not complete the read — breaker open,
+          link disconnected, or every retry's reply dropped; [detail]
+          is the {!Transport.error} name *)
 
 type t
 
@@ -58,6 +65,22 @@ type helper = t -> value list -> value
 val create : Kmem.t -> Ctype.registry -> t
 val mem : t -> Kmem.t
 val types : t -> Ctype.registry
+
+(* ------------------------------------------------------------------ *)
+(* Transport — the (simulated) debugger link *)
+
+val set_transport : t -> Transport.t -> unit
+(** Route every checked read through [tr]: reads the transport refuses
+    (breaker open, link down, budget spent, retries exhausted) record a
+    {!fault.Timed_out} or {!fault.Link_lost} fault and yield zero/empty
+    data instead of touching memory. Without a transport (the default)
+    reads hit {!Kmem} directly, as before. *)
+
+val transport : t -> Transport.t option
+
+val deadline_exceeded : t -> bool
+(** True when an attached transport's per-plot budget is spent — used
+    by container iterators to truncate traversals early. *)
 
 (* ------------------------------------------------------------------ *)
 (* Value constructors — no memory access, no validation. *)
@@ -175,8 +198,17 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 (** A debugger transport's cost model, per paper Table 5: every read is
-    one remote round-trip plus per-byte serial cost. *)
-type profile = { pname : string; rtt_ms : float; byte_ms : float }
+    one remote round-trip plus per-byte serial cost.  Owned by
+    {!Transport} since the connection layer landed; re-exported here
+    for existing callers. *)
+type profile = Transport.profile = {
+  pname : string;
+  rtt_ms : float;
+  byte_ms : float;
+}
+
+val profile : string -> float -> profile
+(** [profile name rtt_ms], per-byte cost pinned to [rtt/1024]. *)
 
 val qemu_local : profile
 (** GDB against local QEMU over a unix socket: ~0.05 ms round-trip. *)

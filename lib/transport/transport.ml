@@ -1,0 +1,286 @@
+(* See transport.mli for the contract.  Design notes:
+
+   - One simulated clock per transport, advanced by every charge; the
+     per-plot budget is a separate accumulator reset by [begin_plot], so
+     breaker cooldowns (absolute clock) and deadlines (per-plot spend)
+     do not interfere.
+   - The fault model and the backoff jitter are both driven by
+     deterministic integer arithmetic seeded at [create]; no
+     [Random], no wall clock, so a seeded run replays exactly.
+   - The breaker counts *reads*, not attempts: a read that eventually
+     succeeds after two dropped replies resets the failure streak. *)
+
+type profile = { pname : string; rtt_ms : float; byte_ms : float }
+
+let profile pname rtt_ms = { pname; rtt_ms; byte_ms = rtt_ms /. 1024. }
+let qemu_local = profile "gdb-qemu" 0.05
+let kgdb_rpi = profile "kgdb-rpi3b" 3.0
+let kgdb_rpi400 = profile "kgdb-rpi400" 2.5
+
+type faults = { stall_rate : float; drop_rate : float; disconnect_rate : float }
+
+let no_faults = { stall_rate = 0.; drop_rate = 0.; disconnect_rate = 0. }
+
+let faults_of_rate r =
+  { stall_rate = r; drop_rate = r; disconnect_rate = r /. 20. }
+
+type policy = {
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_max_ms : float;
+  jitter : float;
+  read_timeout_ms : float;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
+}
+
+(* Timeout on the order of the paper's worst observed round trips
+   (10-40 ms on kgdb_rpi); backoff starts near one RTT and caps well
+   under a timeout so a retried read stays cheaper than two timeouts. *)
+let default_policy =
+  { max_retries = 3; backoff_base_ms = 2.0; backoff_factor = 2.0; backoff_max_ms = 24.0;
+    jitter = 0.25; read_timeout_ms = 40.0; breaker_threshold = 5;
+    breaker_cooldown_ms = 250.0 }
+
+(* splitmix-style integer hash: the jitter source.  Pure in (seed,
+   attempt) so the whole backoff schedule is a function of the seed. *)
+let mix seed attempt =
+  let h = ref (seed lxor (attempt * 0x9e3779b9) land max_int) in
+  h := (!h lxor (!h lsr 16)) * 0x45d9f3b land max_int;
+  h := (!h lxor (!h lsr 16)) * 0x45d9f3b land max_int;
+  !h lxor (!h lsr 16)
+
+let backoff_ms p ~seed ~attempt =
+  let raw = p.backoff_base_ms *. (p.backoff_factor ** float_of_int attempt) in
+  let capped = Float.min raw p.backoff_max_ms in
+  let frac = float_of_int (mix seed attempt land 0xFFFF) /. 65535. in
+  capped *. (1. -. p.jitter +. (2. *. p.jitter *. frac))
+
+type link = Up | Down
+type breaker = Closed | Open | Half_open
+type error = Breaker_open | Deadline_exceeded | Disconnected | Retries_exhausted
+
+let error_to_string = function
+  | Breaker_open -> "breaker-open"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Disconnected -> "disconnected"
+  | Retries_exhausted -> "retries-exhausted"
+
+type t = {
+  prof : profile;
+  seed : int;
+  mutable policy : policy;
+  mutable faults : faults;
+  mutable rng : int;
+  mutable link : link;
+  mutable brk : breaker;
+  mutable consec_failures : int;
+  mutable half_open_at : float;  (* clock time when an Open breaker may probe *)
+  mutable clock_ms : float;  (* simulated wire time, whole lifetime *)
+  mutable spent_ms : float;  (* simulated wire time, current plot *)
+  mutable deadline_ms : float option;
+  (* counters *)
+  mutable reads_ok : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable stalls : int;
+  mutable drops : int;
+  mutable disconnects : int;
+  mutable reconnects : int;
+  mutable breaker_trips : int;
+  mutable short_circuits : int;
+  mutable deadline_hits : int;
+}
+
+let create ?(seed = 0x9e3779b9) ?(policy = default_policy) ?(faults = no_faults) prof =
+  { prof; seed; policy; faults; rng = seed; link = Up; brk = Closed; consec_failures = 0;
+    half_open_at = 0.; clock_ms = 0.; spent_ms = 0.; deadline_ms = None; reads_ok = 0;
+    attempts = 0; retries = 0; stalls = 0; drops = 0; disconnects = 0; reconnects = 0;
+    breaker_trips = 0; short_circuits = 0; deadline_hits = 0 }
+
+let profile_of t = t.prof
+let link t = t.link
+let breaker t = t.brk
+let set_faults t f = t.faults <- f
+let set_policy t p = t.policy <- p
+
+let charge t ms =
+  t.clock_ms <- t.clock_ms +. ms;
+  t.spent_ms <- t.spent_ms +. ms
+
+(* Java's 48-bit LCG, as in Kmem's injection layer. *)
+let draw t =
+  t.rng <- ((t.rng * 25214903917) + 11) land 0xFFFF_FFFF_FFFF;
+  float_of_int ((t.rng lsr 24) land 0xFFFFFF) /. 16777216.
+
+let any_faults f = f.stall_rate > 0. || f.drop_rate > 0. || f.disconnect_rate > 0.
+
+(* ------------------------------------------------------------------ *)
+(* Link and breaker state *)
+
+let disconnect t =
+  if t.link = Up then begin
+    t.link <- Down;
+    t.disconnects <- t.disconnects + 1
+  end
+
+let reconnect t =
+  if t.link = Down then t.reconnects <- t.reconnects + 1;
+  t.link <- Up;
+  t.consec_failures <- 0;
+  (* resync handshake: qSupported + symbol refresh, a few round trips *)
+  charge t (5. *. t.prof.rtt_ms);
+  if t.brk = Open then t.brk <- Half_open
+
+let trip t =
+  t.brk <- Open;
+  t.breaker_trips <- t.breaker_trips + 1;
+  t.half_open_at <- t.clock_ms +. t.policy.breaker_cooldown_ms
+
+let read_failed t =
+  t.consec_failures <- t.consec_failures + 1;
+  match t.brk with
+  | Half_open -> trip t  (* the probe failed: back to Open, new cooldown *)
+  | Closed -> if t.consec_failures >= t.policy.breaker_threshold then trip t
+  | Open -> ()
+
+let read_succeeded t =
+  t.consec_failures <- 0;
+  if t.brk = Half_open then t.brk <- Closed
+
+(* ------------------------------------------------------------------ *)
+(* Budget *)
+
+let set_deadline t d = t.deadline_ms <- d
+let deadline t = t.deadline_ms
+let begin_plot t = t.spent_ms <- 0.
+let budget_spent t = t.spent_ms
+
+let deadline_exceeded t =
+  match t.deadline_ms with Some d -> t.spent_ms >= d | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* The resilient read *)
+
+let fetch t ~bytes perform =
+  if deadline_exceeded t then begin
+    t.deadline_hits <- t.deadline_hits + 1;
+    Error Deadline_exceeded
+  end
+  else begin
+    (* breaker gate: Open refuses outright until the cooldown elapses,
+       then lets exactly one probe through in Half_open *)
+    (if t.brk = Open && t.clock_ms >= t.half_open_at then t.brk <- Half_open);
+    if t.brk = Open then begin
+      t.short_circuits <- t.short_circuits + 1;
+      Error Breaker_open
+    end
+    else
+      let fail err =
+        read_failed t;
+        Error err
+      in
+      let rec attempt n =
+        if t.link = Down then begin
+          (* a dead link is detected after one timeout; retrying is
+             pointless until an explicit reconnect *)
+          charge t t.policy.read_timeout_ms;
+          fail Disconnected
+        end
+        else if deadline_exceeded t then begin
+          t.deadline_hits <- t.deadline_hits + 1;
+          Error Deadline_exceeded
+        end
+        else begin
+          t.attempts <- t.attempts + 1;
+          let r = if any_faults t.faults then draw t else 1. in
+          if r < t.faults.disconnect_rate then begin
+            t.link <- Down;
+            t.disconnects <- t.disconnects + 1;
+            charge t t.policy.read_timeout_ms;
+            fail Disconnected
+          end
+          else if r < t.faults.disconnect_rate +. t.faults.drop_rate then begin
+            t.drops <- t.drops + 1;
+            charge t t.policy.read_timeout_ms;
+            if n >= t.policy.max_retries then fail Retries_exhausted
+            else begin
+              t.retries <- t.retries + 1;
+              charge t (backoff_ms t.policy ~seed:t.seed ~attempt:n);
+              attempt (n + 1)
+            end
+          end
+          else begin
+            let stalled =
+              r < t.faults.disconnect_rate +. t.faults.drop_rate +. t.faults.stall_rate
+            in
+            if stalled then begin
+              t.stalls <- t.stalls + 1;
+              charge t t.policy.read_timeout_ms
+            end
+            else charge t (t.prof.rtt_ms +. (float_of_int bytes *. t.prof.byte_ms));
+            read_succeeded t;
+            t.reads_ok <- t.reads_ok + 1;
+            Ok (perform ())
+          end
+        end
+      in
+      attempt 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Health *)
+
+type snapshot = {
+  reads_ok : int;
+  attempts : int;
+  retries : int;
+  stalls : int;
+  drops : int;
+  disconnects : int;
+  reconnects : int;
+  breaker_trips : int;
+  short_circuits : int;
+  deadline_hits : int;
+  sim_ms : float;
+  breaker_now : breaker;
+  link_now : link;
+}
+
+let snapshot (t : t) =
+  { reads_ok = t.reads_ok; attempts = t.attempts; retries = t.retries; stalls = t.stalls;
+    drops = t.drops; disconnects = t.disconnects; reconnects = t.reconnects;
+    breaker_trips = t.breaker_trips; short_circuits = t.short_circuits;
+    deadline_hits = t.deadline_hits; sim_ms = t.clock_ms; breaker_now = t.brk;
+    link_now = t.link }
+
+let reset_counters (t : t) =
+  t.reads_ok <- 0;
+  t.attempts <- 0;
+  t.retries <- 0;
+  t.stalls <- 0;
+  t.drops <- 0;
+  t.disconnects <- 0;
+  t.reconnects <- 0;
+  t.breaker_trips <- 0;
+  t.short_circuits <- 0;
+  t.deadline_hits <- 0
+
+let breaker_to_string = function
+  | Closed -> "closed"
+  | Open -> "OPEN"
+  | Half_open -> "half-open"
+
+let health_line t =
+  let budget =
+    match t.deadline_ms with
+    | Some d -> Printf.sprintf ", budget %.1f/%.1f ms" t.spent_ms d
+    | None -> ""
+  in
+  Printf.sprintf
+    "[link %s %s, breaker %s | %d reads, %d retries, %d drops, %d stalls, %d refused%s | %.1f ms on the wire]"
+    t.prof.pname
+    (match t.link with Up -> "up" | Down -> "DOWN")
+    (breaker_to_string t.brk) t.reads_ok t.retries t.drops t.stalls
+    (t.short_circuits + t.deadline_hits) budget t.clock_ms

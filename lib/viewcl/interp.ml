@@ -227,7 +227,10 @@ let iter_list st head_v =
   let seen = Hashtbl.create 64 in
   let rec go a acc n =
     if a = head || a = 0 then List.rev acc
-    else if Hashtbl.mem seen a || n >= st.limits.max_nodes then begin
+    else if
+      Hashtbl.mem seen a || n >= st.limits.max_nodes
+      || Target.deadline_exceeded st.tgt
+    then begin
       truncated st ~ctx:"List traversal" a;
       List.rev acc
     end
@@ -250,7 +253,10 @@ let iter_hlist st head_v =
   let seen = Hashtbl.create 64 in
   let rec go a acc n =
     if a = 0 then List.rev acc
-    else if Hashtbl.mem seen a || n >= st.limits.max_nodes then begin
+    else if
+      Hashtbl.mem seen a || n >= st.limits.max_nodes
+      || Target.deadline_exceeded st.tgt
+    then begin
       truncated st ~ctx:"HList traversal" a;
       List.rev acc
     end
@@ -275,7 +281,10 @@ let iter_rbtree st root_v =
   let seen = Hashtbl.create 64 in
   let rec inorder a depth acc =
     if a = 0 then acc
-    else if Hashtbl.mem seen a || depth > st.limits.max_depth then begin
+    else if
+      Hashtbl.mem seen a || depth > st.limits.max_depth
+      || Target.deadline_exceeded st.tgt
+    then begin
       truncated st ~ctx:"RBTree traversal" a;
       acc
     end
@@ -319,7 +328,10 @@ let iter_xarray st xa_v =
       if not (is_node e) then acc := Vtgt (Target.ptr_to Ctype.Void e) :: !acc
       else begin
         let na = e land lnot 3 in
-        if Hashtbl.mem seen na || depth > st.limits.max_depth then truncated st ~ctx:"XArray traversal" na
+        if
+          Hashtbl.mem seen na || depth > st.limits.max_depth
+          || Target.deadline_exceeded st.tgt
+        then truncated st ~ctx:"XArray traversal" na
         else begin
           Hashtbl.add seen na ();
           let n = Target.obj (Ctype.Named "xa_node") na in
@@ -351,7 +363,10 @@ let iter_maple st mt_v =
   let seen = Hashtbl.create 64 in
   let rec descend enc node_min node_max depth =
     let na = to_node enc in
-    if Hashtbl.mem seen na || depth > st.limits.max_depth then truncated st ~ctx:"MapleEntries traversal" na
+    if
+      Hashtbl.mem seen na || depth > st.limits.max_depth
+      || Target.deadline_exceeded st.tgt
+    then truncated st ~ctx:"MapleEntries traversal" na
     else begin
       Hashtbl.add seen na ();
       let leaf = node_type enc = 1 in

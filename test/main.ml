@@ -13,6 +13,7 @@ let () =
       ("faults", Test_faults.suite);
       ("viewcl", Test_viewcl.suite);
       ("viewql", Test_viewql.suite);
+      ("transport", Test_transport.suite);
       ("render+panel", Test_render_panel.suite);
       ("vchat", Test_vchat.suite);
       ("json+protocol", Test_json_protocol.suite);
