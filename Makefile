@@ -6,7 +6,7 @@
 # rates), lints formatting, and does one full bench iteration so that a
 # broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench bench-smoke fmt-check ci check clean
+.PHONY: all test bench bench-smoke obs-smoke fmt-check ci check clean
 
 all:
 	dune build @all
@@ -23,6 +23,12 @@ bench:
 bench-smoke: all
 	dune exec bench/main.exe -- --fault-rate 0.0,0.05 --profile kgdb_rpi400 --deadline-ms 500 --seed 7
 
+# Observability overhead guard: bench smoke with tracing off vs. on,
+# twice each; fails if the enabled-mode geomean slowdown exceeds 2x
+# (tunable via OBS_SMOKE_BUDGET).
+obs-smoke: all
+	sh scripts/obs_smoke.sh
+
 # No ocamlformat in the build image, so the formatting gate is a
 # whitespace lint: no tabs or trailing blanks in source files.
 fmt-check:
@@ -30,7 +36,7 @@ fmt-check:
 		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
 	else echo "fmt-check: clean"; fi
 
-ci: all test bench-smoke fmt-check
+ci: all test bench-smoke obs-smoke fmt-check
 
 check: ci bench
 

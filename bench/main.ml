@@ -125,11 +125,11 @@ let table4_rows () =
           total /. (float_of_int (max 1 stats.Visualinux.bytes) /. 1024.) )
       in
       (* ViewQL cost on the same plot (footnote 2: negligible) *)
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_ms () in
       ignore
         (Panel.refine s.Visualinux.panel ~at:pane.Panel.pid
            "a = SELECT task_struct FROM *\nUPDATE a WITH collapsed: true");
-      let viewql_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let viewql_ms = Obs.Clock.elapsed_ms t0 in
       { t4fig = sc.Scripts.fig; qemu = per_row (cost Target.qemu_local);
         kgdb = per_row (cost Target.kgdb_rpi400); viewql_ms })
     Scripts.table2
@@ -406,17 +406,38 @@ let degradation ~rates ~profile ~deadline_ms ~seed =
       Transport.set_deadline tr deadline_ms;
       let s = Visualinux.attach ~transport:tr kernel in
       let plots = ref 0 and failed = ref 0 and boxes = ref 0 and broken = ref 0 in
+      let fetch_ms = ref 0. and interp_ms = ref 0. and render_ms = ref 0. in
       List.iter
         (fun (sc : Scripts.script) ->
+          (* per-phase attribution from the obs registry: fetch = target
+             read time, interp = ViewCL run minus fetch, render = ascii *)
+          let fetch0 = Obs.Profile.total_ms "target.read" in
+          let run0 = Obs.Profile.total_ms "viewcl.run" in
+          let render0 = Obs.Profile.total_ms "render.ascii" in
           (match Visualinux.plot_figure s sc with
-          | _, res, _ ->
+          | _, res, stats ->
               incr plots;
+              ignore (Render.ascii res.Viewcl.graph);
               boxes := !boxes + Vgraph.box_count res.Viewcl.graph;
               broken :=
                 !broken
                 + List.length
                     (List.filter (fun b -> Vgraph.broken b <> None)
-                       (Vgraph.boxes res.Viewcl.graph))
+                       (Vgraph.boxes res.Viewcl.graph));
+              if Obs.enabled () then begin
+                let fetch = Obs.Profile.total_ms "target.read" -. fetch0 in
+                let interp =
+                  Float.max 0. (Obs.Profile.total_ms "viewcl.run" -. run0 -. fetch)
+                in
+                let render = Obs.Profile.total_ms "render.ascii" -. render0 in
+                fetch_ms := !fetch_ms +. fetch;
+                interp_ms := !interp_ms +. interp;
+                render_ms := !render_ms +. render;
+                Obs.Metrics.observe "phase.fetch_ms" fetch;
+                Obs.Metrics.observe "phase.interp_ms" interp;
+                Obs.Metrics.observe "phase.render_ms" render;
+                Obs.Metrics.observe "bench.plot_ms" stats.Visualinux.wall_ms
+              end
           | exception _ -> incr failed);
           (* a dead link stays dead until resynced: reconnect between
              figures, as the interactive session's `recover` would *)
@@ -428,6 +449,10 @@ let degradation ~rates ~profile ~deadline_ms ~seed =
         sn.Transport.disconnects sn.Transport.breaker_trips sn.Transport.short_circuits
         sn.Transport.deadline_hits sn.Transport.sim_ms;
       Printf.printf "       %s\n" (Render.transport_line tr);
+      if Obs.enabled () then
+        Printf.printf
+          "       phases (wall): fetch %.2f ms, interp %.2f ms, render %.2f ms\n"
+          !fetch_ms !interp_ms !render_ms;
       (* resilience contract: every plot completes, whatever the link does *)
       assert (!failed = 0 && !plots = List.length Scripts.table2))
     rates;
@@ -438,15 +463,17 @@ let degradation ~rates ~profile ~deadline_ms ~seed =
 
 (* ------------------------------------------------------------------ *)
 
+let bench_span name f = Obs.with_span ~cat:"bench" ("bench." ^ name) f
+
 let full_suite () =
-  table2 ();
-  table3 ();
-  table4 ();
-  figure4 ();
-  figure5 ();
-  figure7 ();
-  scaling_sweep ();
-  microbench ();
+  bench_span "table2" table2;
+  bench_span "table3" table3;
+  bench_span "table4" table4;
+  bench_span "figure4" figure4;
+  bench_span "figure5" figure5;
+  bench_span "figure7" figure7;
+  bench_span "scaling" scaling_sweep;
+  bench_span "microbench" microbench;
   section "Summary";
   print_endline "All tables and figures regenerated; shape assertions passed:";
   print_endline "  C1  all 20 ULK figures plot from live state (Table 2)";
@@ -463,17 +490,46 @@ let () =
   in
   Printf.printf
     "Visualinux reproduction benchmark - paper: Understanding the Linux Kernel, Visually (EuroSys'25)\n";
-  match get "--fault-rate" args with
-  | Some rs ->
-      (* degradation-table mode: skip the (slow) full suite and measure
-         the fault-injected path at each requested rate *)
-      let rates = List.map float_of_string (String.split_on_char ',' rs) in
-      let profile =
-        profile_of_name (Option.value (get "--profile" args) ~default:"kgdb_rpi400")
-      in
-      let deadline_ms = Option.map float_of_string (get "--deadline-ms" args) in
-      let seed =
-        Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
-      in
-      degradation ~rates ~profile ~deadline_ms ~seed
-  | None -> full_suite ()
+  (* observability is on by default so every bench run leaves a
+     BENCH_<mode>.json metrics artifact; --obs off measures the bare
+     (uninstrumented-cost) path, as make obs-smoke does *)
+  let obs_on = Option.value (get "--obs" args) ~default:"on" = "on" in
+  Obs.set_enabled obs_on;
+  let mode =
+    match get "--fault-rate" args with
+    | Some rs ->
+        let rates = List.map float_of_string (String.split_on_char ',' rs) in
+        let profile =
+          profile_of_name (Option.value (get "--profile" args) ~default:"kgdb_rpi400")
+        in
+        let deadline_ms = Option.map float_of_string (get "--deadline-ms" args) in
+        let seed =
+          Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
+        in
+        bench_span "degradation" (fun () ->
+            degradation ~rates ~profile ~deadline_ms ~seed);
+        "smoke"
+    | None ->
+        full_suite ();
+        "full"
+  in
+  if obs_on then begin
+    let out = Printf.sprintf "BENCH_%s.json" mode in
+    let oc = open_out out in
+    output_string oc
+      (Obs.metrics_json
+         ~extra:
+           [ ("mode", mode); ("argv", String.concat " " (List.tl args));
+             ("spans_total", string_of_int (Obs.spans_total ())) ]
+         ());
+    close_out oc;
+    Printf.printf "\nmetrics written to %s\n" out
+  end;
+  match get "--trace-out" args with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.chrome_trace ());
+      close_out oc;
+      Printf.printf "Chrome trace written to %s (%d events, %d dropped)\n" file
+        (Obs.event_count ()) (Obs.dropped ())
+  | None -> ()

@@ -200,6 +200,9 @@ let repl_help =
   link deadline <ms|off> per-plot deadline budget (simulated ms)
   recover                rebuild the pane layout from the session journal
   refresh                re-extract stale panes against the live link
+  vprof on | off         enable/disable tracing and metrics collection
+  vprof report           profile table, counters, histogram quantiles
+  vprof export <file>    write buffered spans as Chrome trace JSON
   figures                list library figures
   save <file> / quit|exit
 |}
@@ -274,8 +277,12 @@ let repl_cmd =
       | [ "vplot"; fig ] ->
           let* sc = script_of fig in
           let pane, _, stats = Visualinux.plot_figure s sc in
-          Printf.printf "pane %d: %d boxes, %d reads\n" pane.Panel.pid
-            stats.Visualinux.boxes stats.Visualinux.reads;
+          (match Visualinux.render_pane s pane.Panel.pid with
+          | Some out -> print_string out
+          | None -> ());
+          Printf.printf "pane %d: %d boxes, %d reads, %d spans, %.1f ms\n" pane.Panel.pid
+            stats.Visualinux.boxes stats.Visualinux.reads stats.Visualinux.spans
+            stats.Visualinux.wall_ms;
           Ok ()
       | "vctrl" :: "ql" :: pane :: rest ->
           let* p = pane_of pane in
@@ -391,6 +398,27 @@ let repl_cmd =
           let ids = Visualinux.refresh_stale s in
           Printf.printf "refreshed %d panes\n" (List.length ids);
           Ok ()
+      | [ "vprof"; "on" ] | [ "vprof"; "off" ] ->
+          let enable = words = [ "vprof"; "on" ] in
+          (match
+             Visualinux.vprof s (if enable then Visualinux.Prof_on else Visualinux.Prof_off)
+           with
+          | Visualinux.Prof_state b ->
+              Printf.printf "tracing %s\n" (if b then "on" else "off")
+          | _ -> ());
+          Ok ()
+      | [ "vprof"; "report" ] ->
+          (match Visualinux.vprof s Visualinux.Prof_report with
+          | Visualinux.Prof_text txt -> print_string txt
+          | _ -> ());
+          Ok ()
+      | [ "vprof"; "export"; file ] ->
+          (match Visualinux.vprof s (Visualinux.Prof_export file) with
+          | Visualinux.Prof_written f ->
+              Printf.printf "trace written to %s (%d events)\n" f (Obs.event_count ())
+          | _ -> ());
+          Ok ()
+      | "vprof" :: _ -> Error "usage: vprof on|off|report|export <file>"
       | [ "save"; file ] ->
           let oc = open_out file in
           output_string oc (Panel.to_json s.Visualinux.panel);

@@ -71,24 +71,37 @@ type plot_stats = {
   bytes : int;  (** total sizeof of plotted kernel objects *)
   reads : int;  (** target read operations during extraction *)
   read_bytes : int;
-  wall_ms : float;  (** actual OCaml wall-clock extraction time *)
+  wall_ms : float;  (** extraction time on the monotonicized {!Obs.Clock} *)
   link : Transport.snapshot option;  (** transport health, when attached *)
+  spans : int;  (** obs spans recorded during this plot (0 when disabled) *)
+  trace : Obs.span list option;  (** those spans, oldest first, when tracing *)
 }
 
 (** vplot: evaluate ViewCL source, open a primary pane with the plot. *)
 let vplot s ?(title = "plot") src =
   Target.reset_stats s.target;
   Option.iter Transport.begin_plot (Target.transport s.target);
-  let t0 = Unix.gettimeofday () in
-  let res = Viewcl.run ~cfg:s.cfg s.target src in
-  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let spans0 = Obs.spans_total () in
+  let rel0 = Obs.since_epoch_ms () in
+  let t0 = Obs.Clock.now_ms () in
+  let res =
+    Obs.with_span ~cat:"core" ~attrs:[ ("title", title) ] "core.vplot" (fun () ->
+        Viewcl.run ~cfg:s.cfg s.target src)
+  in
+  let wall_ms = Obs.Clock.elapsed_ms t0 in
   let st = Target.stats s.target in
   Vgraph.set_title res.Viewcl.graph title;
   let pane = Panel.open_primary s.panel ~program:src res.Viewcl.graph in
+  let spans = Obs.spans_total () - spans0 in
+  let trace =
+    if Obs.enabled () then
+      Some (List.filter (fun (sp : Obs.span) -> sp.Obs.st0_ms >= rel0) (Obs.span_events ()))
+    else None
+  in
   let stats =
     { boxes = Vgraph.box_count res.Viewcl.graph; bytes = Vgraph.total_bytes res.Viewcl.graph;
       reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms;
-      link = Option.map Transport.snapshot (Target.transport s.target) }
+      link = Option.map Transport.snapshot (Target.transport s.target); spans; trace }
   in
   (pane, res, stats)
 
@@ -129,6 +142,34 @@ let vchat s ?llm ~pane text =
   let program = Vchat.synthesize ?llm text in
   let updated = Panel.refine s.panel ~at:pane program in
   (program, updated)
+
+(** vprof: the profiling v-command — toggle tracing, print the profile
+    report, or export the buffered events as Chrome trace JSON. *)
+type vprof =
+  | Prof_on
+  | Prof_off
+  | Prof_report
+  | Prof_export of string  (** destination file for the Chrome trace *)
+
+type vprof_result =
+  | Prof_state of bool  (** tracing now enabled? *)
+  | Prof_text of string  (** the report *)
+  | Prof_written of string  (** exported trace path *)
+
+let vprof _s cmd =
+  match cmd with
+  | Prof_on ->
+      Obs.set_enabled true;
+      Prof_state true
+  | Prof_off ->
+      Obs.set_enabled false;
+      Prof_state false
+  | Prof_report -> Prof_text (Obs.report ())
+  | Prof_export file ->
+      let oc = open_out file in
+      output_string oc (Obs.chrome_trace ());
+      close_out oc;
+      Prof_written file
 
 (* ------------------------------------------------------------------ *)
 (* Session persistence: save pane programs + refinement histories and

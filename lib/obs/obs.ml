@@ -1,0 +1,471 @@
+(* See obs.mli for the contract.  Implementation notes:
+
+   - The disabled path of every recording entry point is one branch on
+     [!on]; nothing else happens (no clock read, no allocation).
+   - Span self-time is computed online: a stack of open frames carries
+     a per-frame child-duration accumulator, so no post-processing of
+     the ring is ever needed — and the aggregate profile survives ring
+     eviction because it is updated at span end, not derived from the
+     buffer.
+   - The ring is a plain [event option array] with a write cursor;
+     overflow overwrites the oldest slot (newest events win). *)
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+module Clock = struct
+  (* [Unix.gettimeofday] is wall time, which NTP may step backwards;
+     clamping every reading to the running maximum makes the clock
+     monotone, which is all span/duration arithmetic needs. *)
+  let last = ref 0.
+
+  let now_ms () =
+    let t = Unix.gettimeofday () *. 1000. in
+    if t > !last then last := t;
+    !last
+
+  let elapsed_ms t0 = now_ms () -. t0
+end
+
+let epoch = ref (Clock.now_ms ())
+let since_epoch_ms () = Clock.now_ms () -. !epoch
+
+(* ------------------------------------------------------------------ *)
+(* Events and the ring buffer *)
+
+type span = {
+  sname : string;
+  scat : string;
+  st0_ms : float;
+  sdur_ms : float;
+  sself_ms : float;
+  sdepth : int;
+  sattrs : (string * string) list;
+}
+
+type event =
+  | Span of span
+  | Instant of {
+      iname : string;
+      icat : string;
+      it_ms : float;
+      iattrs : (string * string) list;
+    }
+
+let default_capacity = 32768
+let ring = ref (Array.make default_capacity None)
+let ring_w = ref 0
+let ring_n = ref 0
+let dropped_n = ref 0
+
+let set_ring_capacity cap =
+  ring := Array.make (max 1 cap) None;
+  ring_w := 0;
+  ring_n := 0;
+  dropped_n := 0
+
+let push ev =
+  let cap = Array.length !ring in
+  !ring.(!ring_w) <- Some ev;
+  ring_w := (!ring_w + 1) mod cap;
+  if !ring_n < cap then incr ring_n else incr dropped_n
+
+let events () =
+  let cap = Array.length !ring in
+  let start = (!ring_w - !ring_n + cap) mod cap in
+  List.init !ring_n (fun i ->
+      match !ring.((start + i) mod cap) with Some e -> e | None -> assert false)
+
+let span_events () =
+  List.filter_map (function Span s -> Some s | Instant _ -> None) (events ())
+
+let event_count () = !ring_n
+let dropped () = !dropped_n
+
+(* ------------------------------------------------------------------ *)
+(* Span recording: frame stack + per-name aggregation *)
+
+type agg = { mutable acount : int; mutable atotal : float; mutable aself : float }
+
+let agg_tbl : (string, agg) Hashtbl.t = Hashtbl.create 64
+let spans_seen = ref 0
+let spans_total () = !spans_seen
+
+type frame = {
+  fname : string;
+  fcat : string;
+  fattrs : (string * string) list;
+  ft0 : float;
+  mutable fchild : float;
+}
+
+let stack : frame list ref = ref []
+let current_depth () = List.length !stack
+
+let record_span ~name ~cat ~attrs ~t0 ~dur ~self ~depth =
+  push (Span { sname = name; scat = cat; st0_ms = t0; sdur_ms = dur; sself_ms = self;
+               sdepth = depth; sattrs = attrs });
+  incr spans_seen;
+  let a =
+    match Hashtbl.find_opt agg_tbl name with
+    | Some a -> a
+    | None ->
+        let a = { acount = 0; atotal = 0.; aself = 0. } in
+        Hashtbl.add agg_tbl name a;
+        a
+  in
+  a.acount <- a.acount + 1;
+  a.atotal <- a.atotal +. dur;
+  a.aself <- a.aself +. self
+
+let with_span ?(cat = "app") ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let depth = List.length !stack in
+    let fr = { fname = name; fcat = cat; fattrs = attrs; ft0 = since_epoch_ms (); fchild = 0. } in
+    stack := fr :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        match !stack with
+        | top :: rest when top == fr ->
+            stack := rest;
+            let dur = since_epoch_ms () -. fr.ft0 in
+            let self = Float.max 0. (dur -. fr.fchild) in
+            (match rest with parent :: _ -> parent.fchild <- parent.fchild +. dur | [] -> ());
+            record_span ~name:fr.fname ~cat:fr.fcat ~attrs:fr.fattrs ~t0:fr.ft0 ~dur ~self ~depth
+        | _ -> () (* a reset () ran inside [f]: the frame is gone, drop it *))
+      f
+  end
+
+let instant ?(cat = "app") ?(attrs = []) name =
+  if !on then
+    push (Instant { iname = name; icat = cat; it_ms = since_epoch_ms (); iattrs = attrs })
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+module Metrics = struct
+  let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+  let gauges_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+  let counter_ref name =
+    match Hashtbl.find_opt counters_tbl name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add counters_tbl name r;
+        r
+
+  let incr ?(by = 1) name =
+    if !on then begin
+      let r = counter_ref name in
+      r := !r + by
+    end
+
+  let counter name = match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+
+  let counters () =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let set_gauge name v =
+    if !on then
+      match Hashtbl.find_opt gauges_tbl name with
+      | Some r -> r := v
+      | None -> Hashtbl.add gauges_tbl name (ref v)
+
+  let gauge name = Option.map ( ! ) (Hashtbl.find_opt gauges_tbl name)
+
+  let gauges () =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauges_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  (* log2 buckets: 0 -> [0, 2^-32); i in 1..62 -> [2^(i-33), 2^(i-32));
+     63 -> [2^30, inf).  frexp gives v = m * 2^e with m in [0.5, 1), so
+     floor(log2 v) = e - 1 exactly — the boundaries are exact powers of
+     two, no float-log rounding at the edges. *)
+  let nbuckets = 64
+
+  let bucket_of v =
+    if v < Float.ldexp 1. (-32) then 0
+    else if v >= Float.ldexp 1. 30 then nbuckets - 1
+    else
+      let _, e = Float.frexp v in
+      32 + e
+
+  let bucket_lo i = if i <= 0 then 0. else Float.ldexp 1. (i - 33)
+  let bucket_hi i = if i >= nbuckets - 1 then Float.infinity else Float.ldexp 1. (i - 32)
+
+  type histo = {
+    mutable hcount : int;
+    mutable hsum : float;
+    mutable hmin : float;
+    mutable hmax : float;
+    hbuckets : int array;
+  }
+
+  let histos_tbl : (string, histo) Hashtbl.t = Hashtbl.create 16
+
+  let observe name v =
+    if !on then begin
+      let h =
+        match Hashtbl.find_opt histos_tbl name with
+        | Some h -> h
+        | None ->
+            let h =
+              { hcount = 0; hsum = 0.; hmin = Float.infinity; hmax = Float.neg_infinity;
+                hbuckets = Array.make nbuckets 0 }
+            in
+            Hashtbl.add histos_tbl name h;
+            h
+      in
+      h.hcount <- h.hcount + 1;
+      h.hsum <- h.hsum +. v;
+      if v < h.hmin then h.hmin <- v;
+      if v > h.hmax then h.hmax <- v;
+      let b = h.hbuckets in
+      let i = bucket_of v in
+      b.(i) <- b.(i) + 1
+    end
+
+  let histo_quantile h q =
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.hcount))) in
+    let rec walk i cum =
+      if i >= nbuckets then h.hmax
+      else
+        let cum = cum + h.hbuckets.(i) in
+        if cum >= rank then Float.min h.hmax (Float.max h.hmin (bucket_hi i)) else walk (i + 1) cum
+    in
+    walk 0 0
+
+  let quantile name q =
+    match Hashtbl.find_opt histos_tbl name with
+    | Some h when h.hcount > 0 -> Some (histo_quantile h q)
+    | _ -> None
+
+  type summary = {
+    count : int;
+    sum : float;
+    minv : float;
+    maxv : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  let summary_of h =
+    { count = h.hcount; sum = h.hsum; minv = h.hmin; maxv = h.hmax;
+      p50 = histo_quantile h 0.50; p95 = histo_quantile h 0.95; p99 = histo_quantile h 0.99 }
+
+  let summary name =
+    match Hashtbl.find_opt histos_tbl name with
+    | Some h when h.hcount > 0 -> Some (summary_of h)
+    | _ -> None
+
+  let histograms () =
+    Hashtbl.fold (fun k h acc -> if h.hcount > 0 then (k, summary_of h) :: acc else acc)
+      histos_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
+
+module Counter = struct
+  type t = int ref
+
+  let make = Metrics.counter_ref
+
+  let add c by = if !on then c := !c + by
+  let incr c = add c 1
+  let value c = !c
+end
+
+(* ------------------------------------------------------------------ *)
+(* Profile aggregation *)
+
+module Profile = struct
+  type row = { pname : string; pcount : int; ptotal_ms : float; pself_ms : float }
+
+  let rows () =
+    Hashtbl.fold
+      (fun name a acc ->
+        { pname = name; pcount = a.acount; ptotal_ms = a.atotal; pself_ms = a.aself } :: acc)
+      agg_tbl []
+    |> List.sort (fun a b -> compare b.pself_ms a.pself_ms)
+
+  let find name =
+    Option.map
+      (fun a -> { pname = name; pcount = a.acount; ptotal_ms = a.atotal; pself_ms = a.aself })
+      (Hashtbl.find_opt agg_tbl name)
+
+  let total_ms name = match Hashtbl.find_opt agg_tbl name with Some a -> a.atotal | None -> 0.
+
+  let top n =
+    let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+    take n (rows ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reset *)
+
+let reset () =
+  set_ring_capacity (Array.length !ring);
+  Hashtbl.reset agg_tbl;
+  spans_seen := 0;
+  stack := [];
+  Hashtbl.iter (fun _ r -> r := 0) Metrics.counters_tbl;
+  Hashtbl.reset Metrics.gauges_tbl;
+  Hashtbl.reset Metrics.histos_tbl;
+  epoch := Clock.now_ms ()
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+(* Obs is below vgraph in the library DAG, so it carries its own tiny
+   JSON writer (the reader side round-trips through Vgraph's Json). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.6f" f
+
+let args_json attrs =
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+          attrs))
+
+let chrome_trace () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      if !first then first := false else Buffer.add_char buf ',';
+      match ev with
+      | Span s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+               (json_escape s.sname) (json_escape s.scat)
+               (json_float (s.st0_ms *. 1000.))
+               (json_float (s.sdur_ms *. 1000.))
+               (args_json (("depth", string_of_int s.sdepth) :: s.sattrs)))
+      | Instant i ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
+               (json_escape i.iname) (json_escape i.icat)
+               (json_float (i.it_ms *. 1000.))
+               (args_json i.iattrs)))
+    (events ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let profile_table () =
+  let rows = Profile.rows () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s %8s %12s %12s\n" "span" "count" "total ms" "self ms");
+  List.iter
+    (fun (r : Profile.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-36s %8d %12.3f %12.3f\n" r.Profile.pname r.Profile.pcount
+           r.Profile.ptotal_ms r.Profile.pself_ms))
+    rows;
+  if rows = [] then Buffer.add_string buf "(no spans recorded)\n";
+  Buffer.contents buf
+
+let metrics_json ?(extra = []) () =
+  let buf = Buffer.create 4096 in
+  let kv_block name body = Printf.sprintf "\"%s\":{%s}" name (String.concat "," body) in
+  Buffer.add_char buf '{';
+  Buffer.add_string buf
+    (kv_block "meta"
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+          extra));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (kv_block "counters"
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+          (Metrics.counters ())));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (kv_block "gauges"
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_float v))
+          (Metrics.gauges ())));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (kv_block "histograms"
+       (List.map
+          (fun (k, (s : Metrics.summary)) ->
+            Printf.sprintf
+              "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+              (json_escape k) s.Metrics.count (json_float s.Metrics.sum)
+              (json_float s.Metrics.minv) (json_float s.Metrics.maxv) (json_float s.Metrics.p50)
+              (json_float s.Metrics.p95) (json_float s.Metrics.p99))
+          (Metrics.histograms ())));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (kv_block "spans"
+       (List.map
+          (fun (r : Profile.row) ->
+            Printf.sprintf "\"%s\":{\"count\":%d,\"total_ms\":%s,\"self_ms\":%s}"
+              (json_escape r.Profile.pname) r.Profile.pcount (json_float r.Profile.ptotal_ms)
+              (json_float r.Profile.pself_ms))
+          (List.sort (fun (a : Profile.row) b -> compare a.Profile.pname b.Profile.pname)
+             (Profile.rows ()))));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (Printf.sprintf "\"events\":{\"buffered\":%d,\"dropped\":%d,\"spans_total\":%d}"
+       (event_count ()) (dropped ()) (spans_total ()));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let report () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "observability: %s | %d events buffered, %d dropped, %d spans total\n\n"
+       (if !on then "on" else "off")
+       (event_count ()) (dropped ()) (spans_total ()));
+  Buffer.add_string buf (profile_table ());
+  (match Metrics.counters () with
+  | [] -> ()
+  | cs ->
+      Buffer.add_string buf "\ncounters:\n";
+      List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-34s %12d\n" k v)) cs);
+  (match Metrics.gauges () with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string buf "\ngauges:\n";
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-34s %12.3f\n" k v))
+        gs);
+  (match Metrics.histograms () with
+  | [] -> ()
+  | hs ->
+      Buffer.add_string buf "\nhistograms (p50/p95/p99):\n";
+      List.iter
+        (fun (k, (s : Metrics.summary)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-34s n=%-6d %10.3f %10.3f %10.3f\n" k s.Metrics.count
+               s.Metrics.p50 s.Metrics.p95 s.Metrics.p99))
+        hs);
+  Buffer.contents buf

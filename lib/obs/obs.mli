@@ -1,0 +1,194 @@
+(** Obs — the observability substrate (DESIGN.md §7).
+
+    A dependency-free (stdlib + [Unix] only) tracing/metrics/profiling
+    library threaded through every layer of the stack: hierarchical
+    wall-clock spans emitted into a bounded in-memory ring buffer, a
+    registry of named counters/gauges/log2-bucketed histograms, and
+    three exporters — Chrome [trace_event] JSON (loadable in
+    [about:tracing] / Perfetto), a flat ASCII profile table (self/total
+    time per span name), and a JSON metrics dump (the [BENCH_*.json]
+    artifact format).
+
+    Everything is gated on one global switch ({!set_enabled}); while
+    disabled every recording entry point is a single branch — no
+    clock reads, no allocation, no events, no counter drift — so
+    instrumented hot paths cost (almost) nothing in production. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all buffered events and span aggregates, zero every counter,
+    clear gauges and histograms, and restart the trace epoch. Counter
+    handles made with {!Counter.make} stay valid. *)
+
+(** {1 Clock} *)
+
+(** A monotonicized wall clock: readings never decrease, even across
+    NTP steps (each reading is clamped to the previous maximum), so
+    durations derived from it are never negative. *)
+module Clock : sig
+  val now_ms : unit -> float
+  (** Milliseconds since the Unix epoch, monotonicized. *)
+
+  val elapsed_ms : float -> float
+  (** [elapsed_ms t0] = [now_ms () -. t0]; always >= 0 for a [t0]
+      obtained from {!now_ms}. *)
+end
+
+val since_epoch_ms : unit -> float
+(** Milliseconds since the current trace epoch (process start or the
+    last {!reset}) — the timebase of {!span.st0_ms}. *)
+
+(** {1 Spans and events} *)
+
+type span = {
+  sname : string;
+  scat : string;  (** layer category: target, transport, viewcl, ... *)
+  st0_ms : float;  (** start, relative to the trace epoch *)
+  sdur_ms : float;  (** total (inclusive) duration *)
+  sself_ms : float;  (** duration minus directly-nested child spans *)
+  sdepth : int;  (** nesting depth at begin; 0 = top level *)
+  sattrs : (string * string) list;
+}
+
+type event =
+  | Span of span
+  | Instant of {
+      iname : string;
+      icat : string;
+      it_ms : float;
+      iattrs : (string * string) list;
+    }
+
+val with_span : ?cat:string -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span: the span begins before
+    [f], ends when [f] returns {e or raises} (the exception is
+    re-raised after the span is recorded), so every recorded end
+    matches a begin and nesting is structural. Disabled: tail-calls
+    [f] directly. *)
+
+val instant : ?cat:string -> ?attrs:(string * string) list -> string -> unit
+(** A zero-duration point event (state changes, journal ops). *)
+
+val current_depth : unit -> int
+(** Number of currently-open spans (0 outside any {!with_span}). *)
+
+(** {1 The ring buffer} *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. At most the ring capacity; once the
+    ring overflows the {e oldest} events are evicted first. *)
+
+val span_events : unit -> span list
+(** The [Span _] subset of {!events}, oldest first. *)
+
+val event_count : unit -> int
+val dropped : unit -> int
+(** Events evicted by overflow since the last {!reset}. *)
+
+val spans_total : unit -> int
+(** Spans ever recorded since the last {!reset} (survives eviction). *)
+
+val set_ring_capacity : int -> unit
+(** Resize the ring (default 32768 events). Drops buffered events. *)
+
+(** {1 Metrics registry} *)
+
+module Metrics : sig
+  val incr : ?by:int -> string -> unit
+  val set_gauge : string -> float -> unit
+
+  val observe : string -> float -> unit
+  (** Record one sample into the named log2-bucketed histogram.
+      Bucket [0] holds values below [2^-32]; bucket [i] (1..62) holds
+      [2^(i-33) <= v < 2^(i-32)]; bucket [63] holds [v >= 2^30]. *)
+
+  val counter : string -> int
+  (** Current value; 0 for an unknown counter. *)
+
+  val gauge : string -> float option
+  val counters : unit -> (string * int) list
+  (** All counters, sorted by name. *)
+
+  val gauges : unit -> (string * float) list
+  (** All gauges, sorted by name. *)
+
+  type summary = {
+    count : int;
+    sum : float;
+    minv : float;
+    maxv : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  val summary : string -> summary option
+  val histograms : unit -> (string * summary) list
+  (** All non-empty histograms, sorted by name. *)
+
+  val quantile : string -> float -> float option
+  (** [quantile name q] estimates the [q]-quantile ([0 <= q <= 1]) as
+      the upper edge of the first bucket whose cumulative count covers
+      rank [ceil (q * count)], clamped into [[minv, maxv]] — so it is
+      monotone in [q] by construction. *)
+
+  (** Bucket geometry, exposed for tests. *)
+
+  val bucket_of : float -> int
+  val bucket_lo : int -> float
+  val bucket_hi : int -> float
+end
+
+(** Pre-resolved counter handles for hot paths: one [enabled] branch
+    plus an integer add, no hashtable lookup per increment. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Find-or-create; the same name always yields the same counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+(** {1 Span profile (aggregated)} *)
+
+module Profile : sig
+  type row = { pname : string; pcount : int; ptotal_ms : float; pself_ms : float }
+
+  val rows : unit -> row list
+  (** All span names ever recorded (independent of ring eviction),
+      sorted by self time, highest first. *)
+
+  val find : string -> row option
+
+  val total_ms : string -> float
+  (** Aggregate total for a span name; 0 for an unknown name. *)
+
+  val top : int -> row list
+end
+
+(** {1 Exporters} *)
+
+val chrome_trace : unit -> string
+(** The buffered events as Chrome [trace_event] JSON
+    ([{"traceEvents": [...]}], complete events [ph:"X"] in
+    microseconds) — loadable in [about:tracing] and Perfetto. *)
+
+val profile_table : unit -> string
+(** Flat ASCII profile: count / total ms / self ms per span name. *)
+
+val metrics_json : ?extra:(string * string) list -> unit -> string
+(** The whole registry as JSON: [meta] (the [extra] pairs), [counters],
+    [gauges], [histograms] (with quantile summaries), [spans]
+    (aggregated profile rows) and [events] (ring statistics). This is
+    the [BENCH_*.json] artifact format. *)
+
+val report : unit -> string
+(** Human-readable report: profile table + counters + gauges +
+    histogram summaries + ring statistics (the [vprof report] text). *)

@@ -55,7 +55,20 @@ let pane t id =
 let pane_opt t id = Hashtbl.find_opt t.panes id
 let pane_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.panes [] |> List.sort compare
 let journal t = List.rev t.journal_rev
-let checkpoint t op = t.journal_rev <- op :: t.journal_rev
+
+let op_label = function
+  | Jopen _ -> "open"
+  | Jsplit _ -> "split"
+  | Jselect _ -> "select"
+  | Jrefine _ -> "refine"
+  | Jclose _ -> "close"
+
+(* The op journal doubles as an observability event stream: every
+   checkpointed op shows up as an instant in the trace. *)
+let checkpoint t op =
+  if Obs.enabled () then
+    Obs.instant ~cat:"panel" ~attrs:[ ("op", op_label op) ] "panel.op";
+  t.journal_rev <- op :: t.journal_rev
 
 let fresh ?(stale = false) t kind graph =
   let id = t.next_id in
@@ -111,6 +124,8 @@ let select t ~from:src ids =
 
 (** Refine a pane by a ViewQL program; returns #boxes updated. *)
 let refine t ~at src =
+  Obs.with_span ~cat:"panel" ~attrs:[ ("at", string_of_int at) ] "panel.refine"
+  @@ fun () ->
   let p = pane t at in
   let n = Viewql.exec p.session src in
   p.history <- p.history @ [ src ];
@@ -265,6 +280,10 @@ let journal_of_json json =
     journal degrades to a partial layout.  Returns the rebuilt panel
     and the number of panes that came back stale. *)
 let recover ~extract ops =
+  Obs.with_span ~cat:"panel"
+    ~attrs:[ ("ops", string_of_int (List.length ops)) ]
+    "panel.recover"
+  @@ fun () ->
   let t = create () in
   let failed = ref 0 in
   let graph_for program =

@@ -97,6 +97,7 @@ let transport_line tr = Transport.health_line tr
     pane (paper §2.4). [stale] tags the header (pane graph predates a
     target crash); [transport] appends a one-line link-health summary. *)
 let ascii ?roots ?(stale = false) ?transport g =
+  Obs.with_span ~cat:"render" "render.ascii" @@ fun () ->
   let visible =
     match roots with
     | None -> Vgraph.visible g
@@ -133,6 +134,17 @@ let ascii ?roots ?(stale = false) ?transport g =
   (match transport with
   | Some tr -> Buffer.add_string buf (transport_line tr ^ "\n")
   | None -> ());
+  (if Obs.enabled () then
+     match Obs.Profile.top 3 with
+     | [] -> ()
+     | rows ->
+         Buffer.add_string buf
+           (Printf.sprintf "[obs: %s]\n"
+              (String.concat ", "
+                 (List.map
+                    (fun (r : Obs.Profile.row) ->
+                      Printf.sprintf "%s %.1f ms self" r.Obs.Profile.pname r.Obs.Profile.pself_ms)
+                    rows))));
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +154,7 @@ let dot_escape s =
   String.concat "\\\"" (String.split_on_char '"' s)
 
 let dot g =
+  Obs.with_span ~cat:"render" "render.dot" @@ fun () ->
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  node [shape=record, fontname=monospace];\n  rankdir=LR;\n" (dot_escape (Vgraph.title g)));
   let visible = Vgraph.visible g in
@@ -195,6 +208,7 @@ let svg_escape s =
   Buffer.contents buf
 
 let svg g =
+  Obs.with_span ~cat:"render" "render.svg" @@ fun () ->
   let visible = Vgraph.visible g in
   (* BFS levels from roots. *)
   let level = Hashtbl.create 64 in

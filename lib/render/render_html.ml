@@ -103,6 +103,7 @@ let box_html g b =
 (** Render the visible subgraph as a standalone HTML page, boxes arranged
     in columns by BFS depth from the roots (like the paper's panes). *)
 let html g =
+  Obs.with_span ~cat:"render" "render.html" @@ fun () ->
   let visible = Vgraph.visible g in
   let level = Hashtbl.create 64 in
   let queue = Queue.create () in

@@ -60,9 +60,34 @@ let deadline_exceeded t =
 (* ------------------------------------------------------------------ *)
 (* Fault journal *)
 
+let fault_to_string = function
+  | Use_after_free { obj; tag; at } ->
+      Printf.sprintf "use-after-free: %s@0x%x (read at 0x%x)" tag obj at
+  | Wild_access { at } -> Printf.sprintf "wild-access: 0x%x" at
+  | Null_deref { at; ctx } -> Printf.sprintf "null-deref: 0x%x in %s" at ctx
+  | Misaligned { at; want; ctx } ->
+      Printf.sprintf "misaligned: 0x%x (need %d-byte alignment) in %s" at want ctx
+  | Bad_cast { from_; to_ } -> Printf.sprintf "bad-cast: %s -> %s" from_ to_
+  | Injected { at } -> Printf.sprintf "injected-fault: 0x%x" at
+  | Truncated { at; ctx } -> Printf.sprintf "truncated %s at 0x%x" ctx at
+  | Timed_out { at; ctx } -> Printf.sprintf "deadline-exceeded: 0x%x in %s" at ctx
+  | Link_lost { at; ctx; detail } -> Printf.sprintf "link-lost (%s): 0x%x in %s" detail at ctx
+
+let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
+
+(* Obs is the registry of record for read accounting; [stats] below
+   stays as the per-target facade over Kmem's counters. *)
+let c_reads = Obs.Counter.make "target.reads"
+let c_bytes = Obs.Counter.make "target.bytes"
+let c_faults = Obs.Counter.make "target.faults"
+
 let record_fault t f =
   t.nfaults <- t.nfaults + 1;
   t.journal <- f :: t.journal;
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_faults;
+    Obs.instant ~cat:"target" ~attrs:[ ("fault", fault_to_string f) ] "target.fault"
+  end;
   match t.sinks with s :: _ -> s := f :: !s | [] -> ()
 
 let faults t = List.rev t.journal
@@ -83,21 +108,6 @@ let with_faults t f =
   | exception e ->
       pop ();
       raise e
-
-let fault_to_string = function
-  | Use_after_free { obj; tag; at } ->
-      Printf.sprintf "use-after-free: %s@0x%x (read at 0x%x)" tag obj at
-  | Wild_access { at } -> Printf.sprintf "wild-access: 0x%x" at
-  | Null_deref { at; ctx } -> Printf.sprintf "null-deref: 0x%x in %s" at ctx
-  | Misaligned { at; want; ctx } ->
-      Printf.sprintf "misaligned: 0x%x (need %d-byte alignment) in %s" at want ctx
-  | Bad_cast { from_; to_ } -> Printf.sprintf "bad-cast: %s -> %s" from_ to_
-  | Injected { at } -> Printf.sprintf "injected-fault: 0x%x" at
-  | Truncated { at; ctx } -> Printf.sprintf "truncated %s at 0x%x" ctx at
-  | Timed_out { at; ctx } -> Printf.sprintf "deadline-exceeded: 0x%x in %s" at ctx
-  | Link_lost { at; ctx; detail } -> Printf.sprintf "link-lost (%s): 0x%x in %s" detail at ctx
-
-let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
 
 (* ------------------------------------------------------------------ *)
 (* Checked reads *)
@@ -154,7 +164,10 @@ let transported t ~ctx ~at ~bytes ~default perform =
 let read_scalar t ~ctx a size signed =
   if not (validate t ~ctx a) then 0
   else
-    transported t ~ctx ~at:a ~bytes:size ~default:0 (fun () ->
+    let go () =
+      transported t ~ctx ~at:a ~bytes:size ~default:0 (fun () ->
+        Obs.Counter.incr c_reads;
+        Obs.Counter.add c_bytes size;
         let c0 = Kmem.fault_count t.kmem in
         let v =
           match (size, signed) with
@@ -168,15 +181,22 @@ let read_scalar t ~ctx a size signed =
         in
         mirror_injected t c0;
         v)
+    in
+    if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go ()
 
 let read_str t ~ctx a reader =
   if not (validate t ~ctx a) then ""
   else
-    transported t ~ctx ~at:a ~bytes:8 ~default:"" (fun () ->
-        let c0 = Kmem.fault_count t.kmem in
-        let s = reader t.kmem a in
-        mirror_injected t c0;
-        s)
+    let go () =
+      transported t ~ctx ~at:a ~bytes:8 ~default:"" (fun () ->
+          let c0 = Kmem.fault_count t.kmem in
+          let s = reader t.kmem a in
+          Obs.Counter.incr c_reads;
+          Obs.Counter.add c_bytes (String.length s);
+          mirror_injected t c0;
+          s)
+    in
+    if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go ()
 
 (* A pointer about to be followed: a value misaligned for its pointee is
    the signature of a low-bit-tagged or garbage pointer (the paper's

@@ -59,6 +59,11 @@ let backoff_ms p ~seed ~attempt =
 
 type link = Up | Down
 type breaker = Closed | Open | Half_open
+
+let breaker_to_string = function
+  | Closed -> "closed"
+  | Open -> "OPEN"
+  | Half_open -> "half-open"
 type error = Breaker_open | Deadline_exceeded | Disconnected | Retries_exhausted
 
 let error_to_string = function
@@ -119,6 +124,19 @@ let any_faults f = f.stall_rate > 0. || f.drop_rate > 0. || f.disconnect_rate > 
 (* ------------------------------------------------------------------ *)
 (* Link and breaker state *)
 
+(* Every breaker transition funnels through here so state changes show
+   up as instant events in the trace. *)
+let set_brk t b =
+  if t.brk <> b then begin
+    if Obs.enabled () then
+      Obs.instant ~cat:"transport"
+        ~attrs:
+          [ ("from", breaker_to_string t.brk); ("to", breaker_to_string b);
+            ("profile", t.prof.pname) ]
+        "transport.breaker";
+    t.brk <- b
+  end
+
 let disconnect t =
   if t.link = Up then begin
     t.link <- Down;
@@ -131,10 +149,10 @@ let reconnect t =
   t.consec_failures <- 0;
   (* resync handshake: qSupported + symbol refresh, a few round trips *)
   charge t (5. *. t.prof.rtt_ms);
-  if t.brk = Open then t.brk <- Half_open
+  if t.brk = Open then set_brk t Half_open
 
 let trip t =
-  t.brk <- Open;
+  set_brk t Open;
   t.breaker_trips <- t.breaker_trips + 1;
   t.half_open_at <- t.clock_ms +. t.policy.breaker_cooldown_ms
 
@@ -147,7 +165,7 @@ let read_failed t =
 
 let read_succeeded t =
   t.consec_failures <- 0;
-  if t.brk = Half_open then t.brk <- Closed
+  if t.brk = Half_open then set_brk t Closed
 
 (* ------------------------------------------------------------------ *)
 (* Budget *)
@@ -163,7 +181,7 @@ let deadline_exceeded t =
 (* ------------------------------------------------------------------ *)
 (* The resilient read *)
 
-let fetch t ~bytes perform =
+let fetch_raw t ~bytes perform =
   if deadline_exceeded t then begin
     t.deadline_hits <- t.deadline_hits + 1;
     Error Deadline_exceeded
@@ -171,7 +189,7 @@ let fetch t ~bytes perform =
   else begin
     (* breaker gate: Open refuses outright until the cooldown elapses,
        then lets exactly one probe through in Half_open *)
-    (if t.brk = Open && t.clock_ms >= t.half_open_at then t.brk <- Half_open);
+    (if t.brk = Open && t.clock_ms >= t.half_open_at then set_brk t Half_open);
     if t.brk = Open then begin
       t.short_circuits <- t.short_circuits + 1;
       Error Breaker_open
@@ -207,8 +225,15 @@ let fetch t ~bytes perform =
             if n >= t.policy.max_retries then fail Retries_exhausted
             else begin
               t.retries <- t.retries + 1;
-              charge t (backoff_ms t.policy ~seed:t.seed ~attempt:n);
-              attempt (n + 1)
+              let retry () =
+                charge t (backoff_ms t.policy ~seed:t.seed ~attempt:n);
+                attempt (n + 1)
+              in
+              if Obs.enabled () then
+                Obs.with_span ~cat:"transport"
+                  ~attrs:[ ("attempt", string_of_int (n + 1)) ]
+                  "transport.retry" retry
+              else retry ()
             end
           end
           else begin
@@ -228,6 +253,26 @@ let fetch t ~bytes perform =
       in
       attempt 0
   end
+
+let c_fetches = Obs.Counter.make "transport.fetches"
+let c_errors = Obs.Counter.make "transport.errors"
+
+let fetch t ~bytes perform =
+  if not (Obs.enabled ()) then fetch_raw t ~bytes perform
+  else
+    Obs.with_span ~cat:"transport"
+      ~attrs:[ ("profile", t.prof.pname); ("bytes", string_of_int bytes) ]
+      "transport.fetch"
+      (fun () ->
+        Obs.Counter.incr c_fetches;
+        match fetch_raw t ~bytes perform with
+        | Ok _ as ok -> ok
+        | Error e ->
+            Obs.Counter.incr c_errors;
+            Obs.instant ~cat:"transport"
+              ~attrs:[ ("error", error_to_string e) ]
+              "transport.error";
+            Error e)
 
 (* ------------------------------------------------------------------ *)
 (* Health *)
@@ -266,11 +311,6 @@ let reset_counters (t : t) =
   t.breaker_trips <- 0;
   t.short_circuits <- 0;
   t.deadline_hits <- 0
-
-let breaker_to_string = function
-  | Closed -> "closed"
-  | Open -> "OPEN"
-  | Half_open -> "half-open"
 
 let health_line t =
   let budget =

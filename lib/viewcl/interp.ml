@@ -215,7 +215,13 @@ let format_value st dec (tv : Target.value) : string * Vgraph.fval =
 (* ------------------------------------------------------------------ *)
 (* Containers *)
 
+(* Container distillation spans: one per traversal, named after the
+   constructor, so the trace shows where extraction time pools. *)
+let distilled name f =
+  if Obs.enabled () then Obs.with_span ~cat:"viewcl" name f else f ()
+
 let iter_list st head_v =
+  distilled "viewcl.distill.list" @@ fun () ->
   (* [head_v]: lvalue of (or pointer to) a list_head; yields node addrs. *)
   let tgt = st.tgt in
   let head =
@@ -242,6 +248,7 @@ let iter_list st head_v =
   go (next head) [] 0
 
 let iter_hlist st head_v =
+  distilled "viewcl.distill.hlist" @@ fun () ->
   let tgt = st.tgt in
   let head =
     match head_v.Target.typ with
@@ -268,6 +275,7 @@ let iter_hlist st head_v =
   go first [] 0
 
 let iter_rbtree st root_v =
+  distilled "viewcl.distill.rbtree" @@ fun () ->
   (* Accepts rb_root, rb_root_cached, or pointers to either. *)
   let tgt = st.tgt in
   let v = match root_v.Target.typ with Ctype.Ptr _ -> Target.deref tgt root_v | _ -> root_v in
@@ -298,6 +306,7 @@ let iter_rbtree st root_v =
   inorder top 0 []
 
 let iter_array st args =
+  distilled "viewcl.distill.array" @@ fun () ->
   let tgt = st.tgt in
   match args with
   | [ arr ] -> (
@@ -316,6 +325,7 @@ let iter_array st args =
   | _ -> fail "Array takes 1 or 2 arguments"
 
 let iter_xarray st xa_v =
+  distilled "viewcl.distill.xarray" @@ fun () ->
   (* Yields entry values of an xarray, in index order. *)
   let tgt = st.tgt in
   let xa = match xa_v.Target.typ with Ctype.Ptr _ -> Target.deref tgt xa_v | _ -> xa_v in
@@ -350,6 +360,7 @@ let iter_xarray st xa_v =
   List.rev !acc
 
 let iter_maple st mt_v =
+  distilled "viewcl.distill.maple" @@ fun () ->
   (* Yields the non-NULL leaf entries of a maple tree, in range order:
      reads pivots and slots from the real nodes via the target. *)
   let tgt = st.tgt in
@@ -574,6 +585,16 @@ and effective_items def_views vname =
   items_of vname []
 
 and build_box st env ~bdef ~btype ~addr ~views ~bwhere =
+  if not (Obs.enabled ()) then build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere
+  else
+    Obs.with_span ~cat:"viewcl"
+      ~attrs:
+        [ ("def", (if bdef = "" then "(anon)" else bdef));
+          ("type", btype); ("addr", Printf.sprintf "0x%x" addr) ]
+      "viewcl.box"
+      (fun () -> build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere)
+
+and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
   if st.box_budget <= 0 then fail "plot exceeds %d boxes; refine the ViewCL program" max_boxes;
   st.box_budget <- st.box_budget - 1;
   let size =
@@ -675,6 +696,10 @@ and eval_item st env box it : Vgraph.item list =
 type result = { graph : Vgraph.t; plots : Vgraph.box_id list }
 
 let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt program =
+  Obs.with_span ~cat:"viewcl"
+    ~attrs:[ ("stmts", string_of_int (List.length program)) ]
+    "viewcl.run"
+  @@ fun () ->
   let st =
     { tgt; cfg; graph = Vgraph.create (); defs = Hashtbl.create 32; memo = Hashtbl.create 256;
       limits; box_budget = max_boxes }

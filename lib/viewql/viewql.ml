@@ -455,7 +455,8 @@ let exec_program s prog =
 
 (** Parse and execute [src] against [graph]. Named sets persist in the
     session across calls (interactive refinement). *)
-let exec s src = exec_program s (parse src)
+let exec s src =
+  Obs.with_span ~cat:"viewql" "viewql.exec" (fun () -> exec_program s (parse src))
 
 let run graph src =
   let s = make_session graph in

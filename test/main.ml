@@ -14,6 +14,7 @@ let () =
       ("viewcl", Test_viewcl.suite);
       ("viewql", Test_viewql.suite);
       ("transport", Test_transport.suite);
+      ("obs", Test_obs.suite);
       ("render+panel", Test_render_panel.suite);
       ("vchat", Test_vchat.suite);
       ("json+protocol", Test_json_protocol.suite);
