@@ -462,6 +462,59 @@ let degradation ~rates ~profile ~deadline_ms ~seed =
     \ dl-hits = reads refused by the per-plot deadline budget)"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos table: the Table 2 figures extracted while seeded mutators fire
+   between target reads (ISSUE 4 / DESIGN.md §8).  Snapshot consistency
+   degrades gracefully under concurrent mutation: torn sections are
+   retried per box, residual tears become [TORN] boxes, and the
+   structural sanitizer sweeps every extracted graph for structures the
+   mutators left mid-surgery. *)
+
+let chaos ~rates ~seed =
+  section (Printf.sprintf "Chaos: Table 2 figures under concurrent mutation (seed %d)" seed);
+  Printf.printf "%-6s %5s %6s %6s %5s %7s %8s %6s %7s %8s\n" "rate" "plots" "boxes" "fired"
+    "torn" "retried" "repaired" "[TORN]" "suspect" "wall-ms";
+  List.iter
+    (fun rate ->
+      let kernel = Kstate.boot () in
+      let w = Workload.create kernel in
+      Workload.run w;
+      let s = Visualinux.attach kernel in
+      let c = Workload.Chaos.create ~seed w ~rate in
+      Workload.Chaos.arm c s.Visualinux.target;
+      let plots = ref 0 and failed = ref 0 and boxes = ref 0 in
+      let torn = ref 0 and retried = ref 0 and repaired = ref 0 and torn_boxes = ref 0 in
+      let suspects = ref 0 and wall = ref 0. in
+      List.iter
+        (fun (sc : Scripts.script) ->
+          match Visualinux.plot_figure s sc with
+          | _, res, stats ->
+              incr plots;
+              ignore (Render.ascii res.Viewcl.graph);
+              boxes := !boxes + Vgraph.box_count res.Viewcl.graph;
+              torn := !torn + res.Viewcl.torn;
+              retried := !retried + res.Viewcl.retried;
+              repaired := !repaired + res.Viewcl.repaired;
+              torn_boxes := !torn_boxes + res.Viewcl.torn_boxes;
+              suspects :=
+                !suspects
+                + List.length (Sanity.check_graph kernel.Kstate.ctx res.Viewcl.graph);
+              wall := !wall +. stats.Visualinux.wall_ms;
+              if Obs.enabled () then Obs.Metrics.observe "bench.plot_ms" stats.Visualinux.wall_ms
+          | exception _ -> incr failed)
+        Scripts.table2;
+      Workload.Chaos.disarm s.Visualinux.target;
+      Printf.printf "%-6.3f %5d %6d %6d %5d %7d %8d %6d %7d %8.1f\n" rate !plots !boxes
+        (Workload.Chaos.fired c) !torn !retried !repaired !torn_boxes !suspects !wall;
+      (* chaos contract: concurrent mutation degrades to [TORN] and
+         [SUSPECT] boxes, never an exception escaping a plot *)
+      assert (!failed = 0 && !plots = List.length Scripts.table2))
+    rates;
+  print_endline
+    "\n(plots always complete: a racing writer tears the box's consistent\n\
+    \ section, the box is re-extracted, and residual tears degrade to [TORN]\n\
+    \ tags; suspect = structures the sanitizer found violating their laws)"
+
+(* ------------------------------------------------------------------ *)
 
 let bench_span name f = Obs.with_span ~cat:"bench" ("bench." ^ name) f
 
@@ -496,8 +549,15 @@ let () =
   let obs_on = Option.value (get "--obs" args) ~default:"on" = "on" in
   Obs.set_enabled obs_on;
   let mode =
-    match get "--fault-rate" args with
-    | Some rs ->
+    match (get "--chaos-rate" args, get "--fault-rate" args) with
+    | Some rs, _ ->
+        let rates = List.map float_of_string (String.split_on_char ',' rs) in
+        let seed =
+          Option.value (Option.map int_of_string (get "--seed" args)) ~default:0xC4405
+        in
+        bench_span "chaos" (fun () -> chaos ~rates ~seed);
+        "chaos"
+    | None, Some rs ->
         let rates = List.map float_of_string (String.split_on_char ',' rs) in
         let profile =
           profile_of_name (Option.value (get "--profile" args) ~default:"kgdb_rpi400")
@@ -509,7 +569,7 @@ let () =
         bench_span "degradation" (fun () ->
             degradation ~rates ~profile ~deadline_ms ~seed);
         "smoke"
-    | None ->
+    | None, None ->
         full_suite ();
         "full"
   in

@@ -203,6 +203,8 @@ let repl_help =
   vprof on | off         enable/disable tracing and metrics collection
   vprof report           profile table, counters, histogram quantiles
   vprof export <file>    write buffered spans as Chrome trace JSON
+  vverify <pane>         run the structural sanitizer on a pane; suspect
+                         boxes gain [SUSPECT:<law>] tags in later shows
   figures                list library figures
   save <file> / quit|exit
 |}
@@ -419,6 +421,22 @@ let repl_cmd =
           | _ -> ());
           Ok ()
       | "vprof" :: _ -> Error "usage: vprof on|off|report|export <file>"
+      | [ "vverify"; pane ] -> (
+          let* p = pane_of pane in
+          match Visualinux.vverify s ~pane:p.Panel.pid with
+          | None -> Error (Printf.sprintf "no pane %d" p.Panel.pid)
+          | Some [] ->
+              Printf.printf "pane %d: all structures pass (%d boxes checked)\n" p.Panel.pid
+                (Vgraph.box_count p.Panel.graph);
+              Ok ()
+          | Some verdicts ->
+              List.iter
+                (fun v -> Printf.printf "  %s\n" (Sanity.verdict_to_string v))
+                verdicts;
+              Printf.printf "pane %d: %d suspect structure(s)\n" p.Panel.pid
+                (List.length verdicts);
+              Ok ())
+      | "vverify" :: _ -> Error "usage: vverify <pane>"
       | [ "save"; file ] ->
           let oc = open_out file in
           output_string oc (Panel.to_json s.Visualinux.panel);

@@ -171,6 +171,17 @@ let vprof _s cmd =
       close_out oc;
       Prof_written file
 
+(** vverify: run the structural sanitizer ({!Sanity}) over a pane's
+    extracted graph on demand.  Consistent sections guarantee the bytes
+    were read atomically; vverify asks whether they form legal
+    structures.  Suspect boxes are stamped so the next render of the
+    pane shows their [SUSPECT:<law>] tags.  [None] when the pane does
+    not exist. *)
+let vverify ?(mark = true) s ~pane =
+  Option.map
+    (fun p -> Sanity.check_graph ~mark s.kernel.Kstate.ctx p.Panel.graph)
+    (Panel.pane_opt s.panel pane)
+
 (* ------------------------------------------------------------------ *)
 (* Session persistence: save pane programs + refinement histories and
    replay them against a (possibly different) kernel state — "persisting

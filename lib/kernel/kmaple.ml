@@ -310,6 +310,44 @@ let read_nodes ctx mt =
     List.rev !acc
   end
 
+(* Structural sanity over the real nodes: pivot monotonicity (every
+   slot's range is non-empty and inside its parent's bound) and encoded
+   pointer tag validity (known node type, internal slots hold node
+   pointers).  Non-raising and cycle-safe — a freed-and-reused node can
+   point anywhere, which is exactly when this check matters. *)
+let check ?(max_nodes = 65536) ctx mt =
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let root = r64 ctx mt "maple_tree" "ma_root" in
+  if root = 0 || not (is_node root) then Ok 0
+  else begin
+    let seen = Hashtbl.create 64 in
+    let count = ref 0 in
+    let rec descend enc node_min node_max =
+      let na = to_node enc in
+      if Hashtbl.mem seen na then bad "maple: node cycle through 0x%x" na;
+      Hashtbl.add seen na ();
+      incr count;
+      if !count > max_nodes then bad "maple: more than %d nodes (runaway structure)" max_nodes;
+      let ty = node_type enc in
+      if ty <> maple_leaf_64 && ty <> maple_range_64 && ty <> maple_arange_64 then
+        bad "maple: encoded pointer 0x%x has invalid node type %d" enc ty;
+      let leafp = is_leaf enc in
+      iter_node ctx enc node_min node_max (fun lo hi v ->
+          if hi < lo || hi > node_max then
+            bad "maple: pivot order violated in node 0x%x (slot range [0x%x,0x%x], bound 0x%x)"
+              na lo hi node_max;
+          if not leafp then
+            if v = 0 then ()
+            else if not (is_node v) then
+              bad "maple: internal node 0x%x slot holds non-node value 0x%x" na v
+            else descend v lo hi)
+    in
+    match descend root 0 mt_max with
+    | () -> Ok !count
+    | exception Bad m -> Error m
+  end
+
 (** Tree height (number of node levels), reading real memory. *)
 let read_height ctx mt =
   let root = r64 ctx mt "maple_tree" "ma_root" in

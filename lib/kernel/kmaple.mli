@@ -82,6 +82,14 @@ val read_nodes : Kcontext.t -> addr -> addr list
 val read_height : Kcontext.t -> addr -> int
 (** Node levels (0 for empty, 1 for a direct-entry root). *)
 
+val check : ?max_nodes:int -> Kcontext.t -> addr -> (int, string) result
+(** Structural sanity of the real in-memory tree, for the sanitizer
+    (Sanity): pivot monotonicity (every slot range non-empty and inside
+    its parent's bound) and encoded-pointer tag validity (known node
+    types, internal slots hold node pointers).  [Ok node_count], or
+    [Error reason] naming the first violation.  Cycle-safe and bounded
+    by [max_nodes] (default 65536). *)
+
 (** {1 Low-level node access (used by tests and helpers)} *)
 
 val leaf_pivot : Kcontext.t -> addr -> int -> int

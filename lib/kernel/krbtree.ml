@@ -295,3 +295,38 @@ let validate ctx root =
   let r = root_node ctx root in
   if r <> 0 && color ctx r <> black then failwith "rbtree: red root";
   go r
+
+(* Non-raising, cycle-safe variant for the structural sanitizer: the
+   tree under inspection may be arbitrarily corrupted (a child pointer
+   looping back up, poison bytes as colors), so the walk carries a
+   visited set and a node budget and reports instead of diverging. *)
+let check ?(max_nodes = 65536) ctx root =
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let seen = Hashtbl.create 64 in
+  let budget = ref max_nodes in
+  let rec go n =
+    if n = 0 then 1
+    else begin
+      if Hashtbl.mem seen n then bad "rbtree: cycle through node 0x%x" n;
+      Hashtbl.add seen n ();
+      decr budget;
+      if !budget < 0 then bad "rbtree: more than %d nodes (runaway structure)" max_nodes;
+      if color ctx n = red && (color ctx (left ctx n) = red || color ctx (right ctx n) = red)
+      then bad "rbtree: red node 0x%x has a red child" n;
+      if left ctx n <> 0 && parent ctx (left ctx n) <> n then
+        bad "rbtree: node 0x%x does not parent its left child" n;
+      if right ctx n <> 0 && parent ctx (right ctx n) <> n then
+        bad "rbtree: node 0x%x does not parent its right child" n;
+      let bl = go (left ctx n) and br = go (right ctx n) in
+      if bl <> br then bad "rbtree: black-height mismatch under 0x%x (%d vs %d)" n bl br;
+      bl + if color ctx n = black then 1 else 0
+    end
+  in
+  match
+    let r = root_node ctx root in
+    if r <> 0 && color ctx r <> black then bad "rbtree: red root 0x%x" r;
+    go r
+  with
+  | bh -> Ok bh
+  | exception Bad m -> Error m

@@ -61,3 +61,9 @@ val validate : Kcontext.t -> addr -> int
 (** Check the red-black invariants (red-red freedom, equal black heights,
     parent-pointer consistency, black root); returns the black height.
     @raise Failure on violation. Used by the property tests. *)
+
+val check : ?max_nodes:int -> Kcontext.t -> addr -> (int, string) result
+(** Non-raising, cycle-safe {!validate} for the structural sanitizer
+    (Sanity): [Ok black_height], or [Error reason] naming the first
+    violated law.  Safe on arbitrarily corrupted trees — a visited set
+    catches cycles and [max_nodes] (default 65536) bounds the walk. *)

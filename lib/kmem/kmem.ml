@@ -23,6 +23,12 @@ type t = {
   mutable cursor : addr;
   mutable live : int;
   mutable live_bytes : int;
+  (* Write-generation tracking (seqlock discipline): every store bumps a
+     global counter plus one counter per 4KiB page touched, so a reader
+     can record generations for the ranges it read and re-check them —
+     detecting a mutation that raced the read without trapping writes. *)
+  mutable gen : int;
+  page_gen : (int, int) Hashtbl.t;
   mutable faults_rev : fault list;
   mutable nfaults : int;
   mutable reads : int;
@@ -41,6 +47,8 @@ let create () =
     cursor = kernel_base;
     live = 0;
     live_bytes = 0;
+    gen = 0;
+    page_gen = Hashtbl.create 256;
     faults_rev = [];
     nfaults = 0;
     reads = 0;
@@ -66,6 +74,33 @@ let pages_of base size =
   let rec collect p acc = if p > last then List.rev acc else collect (p + 1) (p :: acc) in
   collect first []
 
+(* ------------------------------------------------------------------ *)
+(* Write generations.  [touch] is the single funnel every mutation goes
+   through: it bumps the global generation and stamps that generation
+   onto every 4KiB page overlapped.  Storing the *stamp* (not a count)
+   lets a reader decide both "did this page change since I read it?"
+   and "had it already changed since my section began before I first
+   read it?" — the second is the snapshot-mixing hazard a plain
+   counter cannot see (see Target consistent sections). *)
+
+let touch mem a n =
+  mem.gen <- mem.gen + 1;
+  let first = a lsr page_bits and last = (a + max n 1 - 1) lsr page_bits in
+  for p = first to last do
+    Hashtbl.replace mem.page_gen p mem.gen
+  done
+
+let generation mem = mem.gen
+let page_generation mem p = Option.value (Hashtbl.find_opt mem.page_gen p) ~default:0
+
+let range_generation mem a n =
+  let first = a lsr page_bits and last = (a + max n 1 - 1) lsr page_bits in
+  let acc = ref 0 in
+  for p = first to last do
+    acc := max !acc (page_generation mem p)
+  done;
+  !acc
+
 let alloc mem ?(align = 16) ~tag size =
   let size = max size 1 in
   let base = (mem.cursor + align - 1) land lnot (align - 1) in
@@ -85,6 +120,9 @@ let alloc mem ?(align = 16) ~tag size =
     (pages_of base size);
   mem.live <- mem.live + 1;
   mem.live_bytes <- mem.live_bytes + size;
+  (* the range transitions to live: a freed node reused mid-walk must
+     dirty the generations of the pages it spans *)
+  touch mem base size;
   base
 
 let alloc_of mem a =
@@ -106,6 +144,7 @@ let free mem a =
       al.state <- Freed;
       mem.live <- mem.live - 1;
       mem.live_bytes <- mem.live_bytes - al.size;
+      touch mem a al.size;
       for i = 0 to al.size - 1 do
         let p = a + i in
         Bytes.set (chunk_of mem p) (p land (chunk_size - 1)) poison_byte
@@ -225,9 +264,12 @@ let read_cstring mem ?(max = 256) a =
   go 0;
   Buffer.contents buf
 
-let write_u8 mem a v = set mem a v
+let write_u8 mem a v =
+  touch mem a 1;
+  set mem a v
 
 let write_le mem a n v =
+  touch mem a n;
   for i = 0 to n - 1 do
     set mem (a + i) ((v lsr (8 * i)) land 0xff)
   done
@@ -235,7 +277,9 @@ let write_le mem a n v =
 let write_u16 mem a v = write_le mem a 2 v
 let write_u32 mem a v = write_le mem a 4 v
 let write_u64 mem a v = write_le mem a 8 v
-let write_bytes mem a s = String.iteri (fun i c -> set mem (a + i) (Char.code c)) s
+let write_bytes mem a s =
+  touch mem a (String.length s);
+  String.iteri (fun i c -> set mem (a + i) (Char.code c)) s
 
 let write_cstring mem a ?field_size s =
   let s =
@@ -244,9 +288,11 @@ let write_cstring mem a ?field_size s =
     | _ -> s
   in
   write_bytes mem a s;
-  set mem (a + String.length s) 0
+  write_u8 mem (a + String.length s) 0
 
-let flip_bits mem a ~mask = set mem a (get mem a lxor mask)
+let flip_bits mem a ~mask =
+  touch mem a 1;
+  set mem a (get mem a lxor mask)
 
 let faults mem = List.rev mem.faults_rev
 let fault_count mem = mem.nfaults

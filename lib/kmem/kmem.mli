@@ -86,6 +86,34 @@ val write_cstring : t -> addr -> ?field_size:int -> string -> unit
 (** Write a NUL-terminated string, truncating to [field_size - 1] bytes
     when [field_size] is given. *)
 
+(** {1 Write generations (snapshot consistency)}
+
+    Every mutation — typed writes, [flip_bits], and the allocation-map
+    transitions of {!alloc} and {!free} — bumps a global generation
+    counter and stamps it onto each 4KiB page overlapped.  A reader
+    wanting seqlock-style consistency records the page stamps for the
+    ranges it reads and re-checks them afterwards: any change means a
+    writer raced the read (a torn snapshot), and a first-read stamp
+    newer than the section start means the snapshot already mixes
+    before/after state.  Pure reads never bump generations. *)
+
+val generation : t -> int
+(** Global write generation: total mutations performed so far. *)
+
+val page_bits : int
+(** log2 of the generation-tracking granule (4KiB pages). *)
+
+val page_generation : t -> int -> int
+(** [page_generation mem p] — the global generation at the most recent
+    mutation touching page index [p] (addresses [a] with
+    [a lsr page_bits = p]); [0] if never touched.  Monotone per page. *)
+
+val range_generation : t -> addr -> int -> int
+(** [range_generation mem a n] — max of {!page_generation} over the
+    pages overlapping [\[a, a+n)]: the generation of the most recent
+    store into the range.  Recording it before a read and comparing
+    after detects any racing store. *)
+
 (** {1 Fault injection}
 
     Test hooks for exercising the fault paths of everything above the

@@ -10,6 +10,15 @@
 
 let box_ref b = Printf.sprintf "#%d" b.Vgraph.id
 
+(* All status tags a box carries, in one deterministic order — severity
+   first ([BROKEN] = faulty memory, [TORN] = raced by a writer, then
+   [SUSPECT:<law>] sorted by law) — so tags compose instead of the last
+   marker clobbering the rest. *)
+let box_tags b =
+  (match Vgraph.broken b with Some _ -> [ "[BROKEN]" ] | None -> [])
+  @ (match Vgraph.torn b with Some _ -> [ "[TORN]" ] | None -> [])
+  @ List.map (fun (law, _) -> Printf.sprintf "[SUSPECT:%s]" law) (Vgraph.suspects b)
+
 let box_title b =
   let name =
     if b.Vgraph.bdef <> "" then b.Vgraph.bdef
@@ -23,7 +32,7 @@ let box_title b =
       Printf.sprintf "%s %s <%s @0x%x>" name (box_ref b) b.Vgraph.btype b.Vgraph.addr
     else Printf.sprintf "%s %s" name (box_ref b)
   in
-  match Vgraph.broken b with Some _ -> base ^ " [BROKEN]" | None -> base
+  match box_tags b with [] -> base | tags -> base ^ " " ^ String.concat " " tags
 
 (* ------------------------------------------------------------------ *)
 (* ASCII cards *)

@@ -4,8 +4,15 @@
     vanish, [collapsed] boxes render as stubs, [view] selects the item
     set, [direction] controls container member flow. *)
 
+val box_tags : Vgraph.box -> string list
+(** The status tags a box carries, in the one deterministic order all
+    renderers use: ["[BROKEN]"] (faulty memory), then ["[TORN]"]
+    (raced by a writer, retries exhausted), then ["[SUSPECT:<law>]"]
+    sorted by law.  Tags compose — a box can carry several at once. *)
+
 val box_title : Vgraph.box -> string
-(** e.g. ["Task #3 <task_struct @0x400000823730>"]. *)
+(** e.g. ["Task #3 <task_struct @0x400000823730>"], followed by
+    {!box_tags} when any are set. *)
 
 val item_lines : Vgraph.t -> Vgraph.box -> string list
 (** The current view's items as display lines. *)

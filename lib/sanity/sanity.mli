@@ -1,0 +1,61 @@
+(** Structural sanitizer: a pluggable registry of invariant checkers
+    that validate extracted boxes against the laws of the data
+    structures they claim to be.
+
+    Consistent sections (Target) guarantee the bytes of a box were not
+    mutated mid-read; they cannot say whether those bytes form a legal
+    structure.  A silently corrupted kernel — bit flips, StackRot-style
+    freed-node reuse — extracts "cleanly" into a graph that violates
+    its own invariants.  The sanitizer reads the {e real} memory behind
+    each box of an extracted graph and emits typed verdicts, rendered
+    as [SUSPECT:<law>] box tags and counted in the {!Obs} registry
+    ([sanity.checked] / [sanity.suspect]).
+
+    Built-in laws:
+    - ["rbtree"] — red-red freedom, equal black heights, parent-pointer
+      symmetry, black root; for [rb_root_cached], the leftmost cache
+      must name the tree's actual first node
+    - ["maple"] — pivot monotonicity and encoded-pointer tag validity
+    - ["list"] — [list_head] cycle closure and prev/next symmetry
+    - ["xarray"] — radix geometry (shift chain 6-by-6 to zero) bounding
+      every index, no node cycles
+
+    All checkers are bounded and cycle-proof: safe on arbitrarily
+    corrupted structures. *)
+
+type verdict = {
+  law : string;  (** which law failed ("rbtree", "maple", "list", ...) *)
+  box : Vgraph.box_id;  (** the box found suspect *)
+  subject : Kmem.addr;  (** address of the structure checked *)
+  reason : string;  (** the first violation, human-readable *)
+}
+
+val verdict_to_string : verdict -> string
+
+(** One pluggable checker: [applies] selects boxes by shape (usually
+    [btype]), [run] reads the real memory behind the box and returns
+    [Error reason] on the first violated law.  [run] must be bounded
+    and must not raise on corrupted input. *)
+type checker = {
+  law : string;
+  applies : Vgraph.box -> bool;
+  run : Kcontext.t -> Vgraph.box -> (unit, string) result;
+}
+
+val builtins : checker list
+(** The four built-in checkers (rbtree, maple, list, xarray). *)
+
+val register : checker -> unit
+(** Append a checker to the registry (after the builtins). *)
+
+val checkers : unit -> checker list
+val reset : unit -> unit
+(** Restore the registry to just the builtins (used by tests). *)
+
+val check_box : Kcontext.t -> Vgraph.box -> verdict list
+(** Verdicts of every applicable registered checker on one box. *)
+
+val check_graph : ?mark:bool -> Kcontext.t -> Vgraph.t -> verdict list
+(** Run the registry over every box of the graph.  [mark] (default
+    true) stamps suspect boxes with {!Vgraph.mark_suspect} so the next
+    render shows their [SUSPECT:<law>] tags. *)

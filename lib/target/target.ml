@@ -21,6 +21,18 @@ type fault =
   | Truncated of { at : addr; ctx : string }
   | Timed_out of { at : addr; ctx : string }
   | Link_lost of { at : addr; ctx : string; detail : string }
+  | Torn of { lo : addr; hi : addr }
+
+(* A consistent section, seqlock-style.  [sec_start] is the global
+   write generation when the section opened; [sec_pages] maps each page
+   touched by a checked read to the page's generation stamp at its
+   *first* read.  At section end a page is dirty when its stamp moved
+   since first read (a write raced the walk) or its first-read stamp
+   already postdates [sec_start] (the snapshot mixes before/after
+   state — the case a plain per-page counter cannot see).  Sections
+   nest; a checked read registers its pages in the innermost open
+   section only, giving per-box granularity to the retry layer. *)
+type section = { sec_start : int; sec_pages : (int, int) Hashtbl.t }
 
 type t = {
   kmem : Kmem.t;
@@ -32,6 +44,9 @@ type t = {
   mutable nfaults : int;
   mutable sinks : fault list ref list;  (* innermost with_faults first *)
   mutable transport : Transport.t option;  (* None: reads are local/free *)
+  mutable sections : section list;  (* innermost consistent section first *)
+  mutable read_hook : (unit -> unit) option;  (* chaos: fired between reads *)
+  mutable in_hook : bool;  (* reentrancy guard for [read_hook] *)
 }
 
 and helper = t -> value list -> value
@@ -47,6 +62,9 @@ let create kmem reg =
     nfaults = 0;
     sinks = [];
     transport = None;
+    sections = [];
+    read_hook = None;
+    in_hook = false;
   }
 
 let mem t = t.kmem
@@ -72,6 +90,7 @@ let fault_to_string = function
   | Truncated { at; ctx } -> Printf.sprintf "truncated %s at 0x%x" ctx at
   | Timed_out { at; ctx } -> Printf.sprintf "deadline-exceeded: 0x%x in %s" at ctx
   | Link_lost { at; ctx; detail } -> Printf.sprintf "link-lost (%s): 0x%x in %s" detail at ctx
+  | Torn { lo; hi } -> Printf.sprintf "torn-read: [0x%x,0x%x) mutated during extraction" lo hi
 
 let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
 
@@ -108,6 +127,79 @@ let with_faults t f =
   | exception e ->
       pop ();
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Consistent sections and the chaos read hook *)
+
+let begin_consistent t =
+  let sec = { sec_start = Kmem.generation t.kmem; sec_pages = Hashtbl.create 16 } in
+  t.sections <- sec :: t.sections;
+  sec
+
+(* Register the pages of an [n]-byte read at [a] in the innermost open
+   section, stamping each page with its current generation the first
+   time the section sees it.  Innermost-only gives per-box granularity:
+   a nested section (a child box's build) owns its reads, so a tear in
+   a child does not dirty — and needlessly re-extract — its ancestors.
+   One list match when no section is open. *)
+let observe_read t a n =
+  match t.sections with
+  | [] -> ()
+  | sec :: _ ->
+      let first = a lsr Kmem.page_bits and last = (a + max n 1 - 1) lsr Kmem.page_bits in
+      for p = first to last do
+        if not (Hashtbl.mem sec.sec_pages p) then
+          Hashtbl.add sec.sec_pages p (Kmem.page_generation t.kmem p)
+      done
+
+let c_torn = Obs.Counter.make "target.torn"
+
+let end_consistent t sec =
+  t.sections <- List.filter (fun s -> s != sec) t.sections;
+  let dirty =
+    Hashtbl.fold
+      (fun p stamp acc ->
+        if stamp > sec.sec_start || Kmem.page_generation t.kmem p <> stamp then p :: acc
+        else acc)
+      sec.sec_pages []
+  in
+  (* coalesce adjacent dirty pages into [lo, hi) byte ranges *)
+  let rec ranges = function
+    | [] -> []
+    | p :: rest ->
+        let rec extend q = function
+          | r :: tl when r = q + 1 -> extend r tl
+          | tl -> (q, tl)
+        in
+        let q, rest = extend p rest in
+        (p lsl Kmem.page_bits, (q + 1) lsl Kmem.page_bits) :: ranges rest
+  in
+  let dirty = ranges (List.sort compare dirty) in
+  List.iter
+    (fun (lo, hi) ->
+      if Obs.enabled () then Obs.Counter.incr c_torn;
+      record_fault t (Torn { lo; hi }))
+    dirty;
+  dirty
+
+let consistent t f =
+  let sec = begin_consistent t in
+  match f () with
+  | x -> (x, end_consistent t sec)
+  | exception e ->
+      ignore (end_consistent t sec);
+      raise e
+
+let set_read_hook t h = t.read_hook <- h
+
+(* Fire the chaos hook after a performed read.  The guard stops a hook
+   whose mutators themselves go through this target from recursing. *)
+let fire_read_hook t =
+  match t.read_hook with
+  | Some h when not t.in_hook ->
+      t.in_hook <- true;
+      Fun.protect ~finally:(fun () -> t.in_hook <- false) h
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Checked reads *)
@@ -163,11 +255,12 @@ let transported t ~ctx ~at ~bytes ~default perform =
 
 let read_scalar t ~ctx a size signed =
   if not (validate t ~ctx a) then 0
-  else
+  else begin
     let go () =
       transported t ~ctx ~at:a ~bytes:size ~default:0 (fun () ->
         Obs.Counter.incr c_reads;
         Obs.Counter.add c_bytes size;
+        observe_read t a size;
         let c0 = Kmem.fault_count t.kmem in
         let v =
           match (size, signed) with
@@ -182,21 +275,28 @@ let read_scalar t ~ctx a size signed =
         mirror_injected t c0;
         v)
     in
-    if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go ()
+    let v = if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go () in
+    fire_read_hook t;
+    v
+  end
 
 let read_str t ~ctx a reader =
   if not (validate t ~ctx a) then ""
-  else
+  else begin
     let go () =
       transported t ~ctx ~at:a ~bytes:8 ~default:"" (fun () ->
           let c0 = Kmem.fault_count t.kmem in
           let s = reader t.kmem a in
           Obs.Counter.incr c_reads;
           Obs.Counter.add c_bytes (String.length s);
+          observe_read t a (max 8 (String.length s + 1));
           mirror_injected t c0;
           s)
     in
-    if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go ()
+    let s = if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go () in
+    fire_read_hook t;
+    s
+  end
 
 (* A pointer about to be followed: a value misaligned for its pointee is
    the signature of a low-bit-tagged or garbage pointer (the paper's

@@ -55,6 +55,10 @@ type fault =
       (** the transport could not complete the read — breaker open,
           link disconnected, or every retry's reply dropped; [detail]
           is the {!Transport.error} name *)
+  | Torn of { lo : addr; hi : addr }
+      (** a writer raced a consistent section: the byte range
+          [\[lo, hi)] (page-granular) was mutated between the first
+          read that touched it and the section's end check *)
 
 type t
 
@@ -188,6 +192,37 @@ val with_faults : t -> (unit -> 'a) -> 'a * fault list
 
 val fault_to_string : fault -> string
 val pp_fault : Format.formatter -> fault -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Consistent sections — seqlock-style torn-read detection *)
+
+type section
+(** An open consistent section: the per-page generation stamps observed
+    at the first checked read of each page. *)
+
+val begin_consistent : t -> section
+(** Open a section.  Sections nest; a checked read registers its pages
+    in the {e innermost} open section only, so a nested section (a
+    child box's build) owns its reads and a tear there does not dirty
+    its ancestors.  With no section open, reads pay one list match. *)
+
+val end_consistent : t -> section -> (addr * addr) list
+(** Close [sec] and return the dirty byte ranges [\[lo, hi)]
+    (page-granular, adjacent pages coalesced): pages some writer
+    mutated after the section first read them, or that had already
+    changed since the section opened before their first read (a mixed
+    snapshot).  Each range also records a {!fault.Torn} fault, so a
+    box built under {!with_faults} sees its own tears.  Empty means
+    the reads form a consistent snapshot. *)
+
+val consistent : t -> (unit -> 'a) -> 'a * (addr * addr) list
+(** [consistent t f]: run [f] inside its own section; exception-safe. *)
+
+val set_read_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook fired after every performed checked read
+    — the chaos harness's injection point for mutators that race the
+    extraction.  Reentrant firing is suppressed: a hook whose own work
+    reads through this target does not recurse. *)
 
 (* ------------------------------------------------------------------ *)
 (* Read accounting and latency models *)

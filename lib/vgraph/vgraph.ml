@@ -89,6 +89,33 @@ let mark_broken b reason =
 
 let broken b = List.assoc_opt "broken" b.attrs.extra
 
+(* A box whose consistent-section retries were exhausted: its contents
+   mix before/after state of a racing writer (the [reason] names the
+   dirtied range).  Same degradation contract as [mark_broken]. *)
+let mark_torn b reason =
+  b.attrs.extra <- ("torn", reason) :: List.remove_assoc "torn" b.attrs.extra;
+  record_field b "torn" (Fstr reason)
+
+let torn b = List.assoc_opt "torn" b.attrs.extra
+
+(* A box that extracted cleanly but violates a structural law of its
+   data structure (see Sanity).  Keyed per law, so one box can be
+   suspect under several laws at once. *)
+let mark_suspect b ~law reason =
+  let key = "suspect:" ^ law in
+  b.attrs.extra <- (key, reason) :: List.remove_assoc key b.attrs.extra;
+  record_field b "suspect" (Fstr law);
+  record_field b key (Fstr reason)
+
+let suspects b =
+  List.filter_map
+    (fun (k, v) ->
+      if String.length k > 8 && String.sub k 0 8 = "suspect:" then
+        Some (String.sub k 8 (String.length k - 8), v)
+      else None)
+    b.attrs.extra
+  |> List.sort compare
+
 let boxes g = Hashtbl.fold (fun _ b acc -> b :: acc) g.boxes [] |> List.sort (fun a b -> compare a.id b.id)
 
 let box_count g = Hashtbl.length g.boxes

@@ -85,6 +85,26 @@ val mark_broken : box -> string -> unit
 val broken : box -> string option
 (** The fault description of a broken box. *)
 
+val mark_torn : box -> string -> unit
+(** [mark_torn b reason] marks [b] as a torn snapshot: a writer raced
+    its extraction and the bounded retry budget ran out, so its
+    contents may mix before/after state.  Sets the ["torn"] extra
+    attribute and a ["torn"] field (ViewQL-filterable), mirroring
+    {!mark_broken}. *)
+
+val torn : box -> string option
+(** The dirtied-range description of a torn box. *)
+
+val mark_suspect : box -> law:string -> string -> unit
+(** [mark_suspect b ~law reason] records that [b] violates structural
+    law [law] (e.g. ["rbtree"], ["maple"]; see the Sanity library).
+    Keyed per law — a box can be suspect under several laws at once.
+    Records ["suspect"] (last law) and ["suspect:<law>"] fields for
+    ViewQL. *)
+
+val suspects : box -> (string * string) list
+(** All [(law, reason)] verdicts recorded on [b], sorted by law. *)
+
 val boxes : t -> box list
 (** All boxes, in id (construction) order. *)
 

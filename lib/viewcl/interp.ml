@@ -22,10 +22,13 @@ let default_config = { flags = []; emojis = [] }
 (** Traversal bounds for container iteration.  A corrupted kernel can
     present a circular list or a self-referential tree; extraction must
     truncate (recording a {!Target.fault.Truncated} fault, which marks
-    the owning box broken) rather than hang or overflow the stack. *)
-type limits = { max_nodes : int; max_depth : int }
+    the owning box broken) rather than hang or overflow the stack.
+    [max_retries] bounds how often a box whose consistent section came
+    back dirty (a writer raced the walk) is re-extracted before
+    degrading to a [TORN] box. *)
+type limits = { max_nodes : int; max_depth : int; max_retries : int }
 
-let default_limits = { max_nodes = 4096; max_depth = 64 }
+let default_limits = { max_nodes = 4096; max_depth = 64; max_retries = 2 }
 
 type value =
   | Vtgt of Target.value
@@ -43,6 +46,11 @@ type state = {
   memo : (string * int, Vgraph.box_id) Hashtbl.t;  (** (def, addr) -> box *)
   limits : limits;
   mutable box_budget : int;
+  (* snapshot-consistency accounting for the whole run *)
+  mutable torn_sections : int;  (** consistent sections that came back dirty *)
+  mutable retries : int;  (** re-extraction attempts performed *)
+  mutable repaired : int;  (** boxes whose retry produced a clean snapshot *)
+  mutable torn_boxes : int;  (** boxes degraded to [TORN] (budget exhausted) *)
 }
 
 let truncated st ~ctx a = Target.record_fault st.tgt (Target.Truncated { at = a; ctx })
@@ -441,7 +449,7 @@ let rec eval st env e : value =
       in
       try_cases cases)
   | For_each { src; var; body } ->
-      let elems = eval_iterable st env src in
+      let subject, elems = eval_iterable st env src in
       let members =
         List.concat_map
           (fun elem ->
@@ -457,7 +465,7 @@ let rec eval st env e : value =
             List.rev yields)
           elems
       in
-      make_container st (container_label src) members
+      make_container st ?subject (container_label src) members
   | Apply { name; anchor; args } -> eval_apply st env name anchor args
   | Method { recv = "Array"; meth = "selectFrom"; args } -> (
       match args with
@@ -487,21 +495,45 @@ and container_label = function
   | Cexpr _ -> "Array"
   | _ -> "Container"
 
-and eval_iterable st env e : value list =
+(* The struct the container constructor walked, as (type, address) —
+   recorded on the container box so {!Sanity} checkers can re-validate
+   the real structure behind it. *)
+and subject_of st tv =
+  match
+    let v = match tv.Target.typ with Ctype.Ptr _ -> Target.deref st.tgt tv | _ -> tv in
+    match v.Target.typ with
+    | Ctype.Named n -> Some (n, Target.addr_of v)
+    | _ -> None
+  with
+  | Some (_, 0) | None -> None
+  | s -> s
+  | exception _ -> None
+
+and eval_iterable st env e : (string * int) option * value list =
   match e with
-  | Apply { name = "List"; args; _ } -> iter_list st (target_arg st env args)
-  | Apply { name = "HList"; args; _ } -> iter_hlist st (target_arg st env args)
-  | Apply { name = "RBTree"; args; _ } -> iter_rbtree st (target_arg st env args)
-  | Apply { name = "XArray"; args; _ } -> iter_xarray st (target_arg st env args)
-  | Apply { name = "MapleEntries"; args; _ } -> iter_maple st (target_arg st env args)
-  | Apply { name = "Array"; args; _ } -> iter_array st (List.map (eval st env) args)
+  | Apply { name = "List"; args; _ } ->
+      let tv = target_arg st env args in
+      (subject_of st tv, iter_list st tv)
+  | Apply { name = "HList"; args; _ } ->
+      let tv = target_arg st env args in
+      (subject_of st tv, iter_hlist st tv)
+  | Apply { name = "RBTree"; args; _ } ->
+      let tv = target_arg st env args in
+      (subject_of st tv, iter_rbtree st tv)
+  | Apply { name = "XArray"; args; _ } ->
+      let tv = target_arg st env args in
+      (subject_of st tv, iter_xarray st tv)
+  | Apply { name = "MapleEntries"; args; _ } ->
+      let tv = target_arg st env args in
+      (subject_of st tv, iter_maple st tv)
+  | Apply { name = "Array"; args; _ } -> (None, iter_array st (List.map (eval st env) args))
   | Apply { name = "Range"; args = [ a; b ]; _ } ->
       let lo = int_of_value st (eval st env a) and hi = int_of_value st (eval st env b) in
-      List.init (max 0 (hi - lo)) (fun i -> Vtgt (Target.int_value (lo + i)))
+      (None, List.init (max 0 (hi - lo)) (fun i -> Vtgt (Target.int_value (lo + i))))
   | _ -> (
       match eval st env e with
-      | Vlist l -> l
-      | Vbox id -> List.map (fun m -> Vbox m) (Vgraph.get st.graph id).Vgraph.members
+      | Vlist l -> (None, l)
+      | Vbox id -> (None, List.map (fun m -> Vbox m) (Vgraph.get st.graph id).Vgraph.members)
       | v -> fail "cannot iterate over %s" (value_kind v))
 
 and value_kind = function
@@ -519,7 +551,7 @@ and target_arg st env args =
       | v -> fail "container constructor expects a C value, got %s" (value_kind v))
   | _ -> fail "container constructor expects one argument"
 
-and make_container st label members =
+and make_container st ?subject label members =
   let ids =
     List.filter_map
       (function
@@ -529,7 +561,12 @@ and make_container st label members =
         | v -> fail "yield produced %s, expected a box" (value_kind v))
       members
   in
-  let b = Vgraph.add_box st.graph ~btype:label ~bdef:"" ~addr:0 ~size:0 ~container:true in
+  let addr = match subject with Some (_, a) -> a | None -> 0 in
+  let b = Vgraph.add_box st.graph ~btype:label ~bdef:"" ~addr ~size:0 ~container:true in
+  (match subject with
+  | Some (t, _) ->
+      b.Vgraph.attrs.Vgraph.extra <- ("subject", t) :: b.Vgraph.attrs.Vgraph.extra
+  | None -> ());
   b.Vgraph.members <- ids;
   Vgraph.set_view b "default" [];
   Vbox b.Vgraph.id
@@ -567,7 +604,7 @@ and eval_apply st env name anchor args =
          known iterables which someone may bind then forEach later. *)
       match name with
       | "List" | "HList" | "RBTree" | "Array" | "XArray" | "MapleEntries" | "Range" ->
-          Vlist (eval_iterable st env (Apply { name; anchor; args }))
+          Vlist (snd (eval_iterable st env (Apply { name; anchor; args })))
       | _ -> fail "unknown box definition or container %S" name)
 
 and effective_items def_views vname =
@@ -608,28 +645,64 @@ and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
      THIS box (nested boxes keep theirs — with_faults nests).  A faulting
      box stays in the plot, visibly broken, instead of aborting the
      extraction; ViewCL program errors (fail/Viewcl.Error) still abort. *)
-  let (), box_faults =
-    Target.with_faults st.tgt (fun () ->
-        (* box-level where bindings *)
-        let env = eval_bindings st env bwhere in
-        (* Each declared view gets its items (inherited views prepended). *)
-        List.iter
-          (fun v ->
-            let chains = effective_items views v.vname in
-            let items =
-              List.concat_map
-                (fun (vitems, vwhere) ->
-                  let venv = eval_bindings st env vwhere in
-                  List.concat_map (eval_item st venv b) vitems)
-                chains
-            in
-            Vgraph.set_view b v.vname items)
-          views)
+  let build () =
+    (* box-level where bindings *)
+    let env = eval_bindings st env bwhere in
+    (* Each declared view gets its items (inherited views prepended). *)
+    List.iter
+      (fun v ->
+        let chains = effective_items views v.vname in
+        let items =
+          List.concat_map
+            (fun (vitems, vwhere) ->
+              let venv = eval_bindings st env vwhere in
+              List.concat_map (eval_item st venv b) vitems)
+            chains
+        in
+        Vgraph.set_view b v.vname items)
+      views
   in
-  (match box_faults with
+  (* Snapshot consistency: build inside a consistent section and, when a
+     writer raced it (dirty pages at section end), discard the views and
+     re-extract up to [max_retries] times.  Nested boxes own their reads
+     (sections nest innermost-only) and are memoized, so a retry re-reads
+     only THIS box's ranges.  [end_consistent] runs inside [with_faults]
+     so the Torn faults belong to this box, not its parent. *)
+  let attempt () =
+    Target.with_faults st.tgt (fun () ->
+        let sec = Target.begin_consistent st.tgt in
+        match build () with
+        | () -> Target.end_consistent st.tgt sec
+        | exception e ->
+            ignore (Target.end_consistent st.tgt sec);
+            raise e)
+  in
+  let rec extract n =
+    let dirty, box_faults = attempt () in
+    if dirty = [] then begin
+      if n > 0 then st.repaired <- st.repaired + 1;
+      (dirty, box_faults)
+    end
+    else begin
+      st.torn_sections <- st.torn_sections + 1;
+      if n < st.limits.max_retries then begin
+        st.retries <- st.retries + 1;
+        b.Vgraph.views <- [];
+        extract (n + 1)
+      end
+      else begin
+        st.torn_boxes <- st.torn_boxes + 1;
+        (dirty, box_faults)
+      end
+    end
+  in
+  let dirty, box_faults = extract 0 in
+  (* Torn faults degrade to a [TORN] tag below, not a [BROKEN] one. *)
+  let mem_faults = List.filter (function Target.Torn _ -> false | _ -> true) box_faults in
+  (match mem_faults with
   | [] -> ()
   | f :: _ ->
-      let n = List.length box_faults in
+      let n = List.length mem_faults in
       let reason = Target.fault_to_string f in
       let reason = if n > 1 then Printf.sprintf "%s (+%d more)" reason (n - 1) else reason in
       Vgraph.mark_broken b reason;
@@ -637,6 +710,20 @@ and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
         List.map
           (fun (vn, items) ->
             (vn, items @ [ Vgraph.Text { label = "!fault"; value = reason; raw = Vgraph.Fstr reason } ]))
+          b.Vgraph.views);
+  (match dirty with
+  | [] -> ()
+  | (lo, hi) :: more ->
+      let reason =
+        Printf.sprintf "raced by a writer: [0x%x,0x%x)%s still dirty after %d retries" lo hi
+          (match more with [] -> "" | _ -> Printf.sprintf " (+%d more ranges)" (List.length more))
+          st.limits.max_retries
+      in
+      Vgraph.mark_torn b reason;
+      b.Vgraph.views <-
+        List.map
+          (fun (vn, items) ->
+            (vn, items @ [ Vgraph.Text { label = "!torn"; value = reason; raw = Vgraph.Fstr reason } ]))
           b.Vgraph.views);
   Vbox b.Vgraph.id
 
@@ -693,7 +780,14 @@ and eval_item st env box it : Vgraph.item list =
 (* ------------------------------------------------------------------ *)
 (* Program execution *)
 
-type result = { graph : Vgraph.t; plots : Vgraph.box_id list }
+type result = {
+  graph : Vgraph.t;
+  plots : Vgraph.box_id list;
+  torn : int;  (** consistent sections that closed dirty (writer raced the walk) *)
+  retried : int;  (** box re-extraction attempts performed *)
+  repaired : int;  (** boxes whose retry produced a clean snapshot *)
+  torn_boxes : int;  (** boxes degraded to [TORN] after the retry budget *)
+}
 
 let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt program =
   Obs.with_span ~cat:"viewcl"
@@ -702,7 +796,8 @@ let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt 
   @@ fun () ->
   let st =
     { tgt; cfg; graph = Vgraph.create (); defs = Hashtbl.create 32; memo = Hashtbl.create 256;
-      limits; box_budget = max_boxes }
+      limits; box_budget = max_boxes;
+      torn_sections = 0; retries = 0; repaired = 0; torn_boxes = 0 }
   in
   List.iter (fun d -> Hashtbl.replace st.defs d.bname d) defs;
   let env = ref [] in
@@ -719,7 +814,9 @@ let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt 
           | Vnull -> ()
           | v -> fail "plot expects a box, got %s" (value_kind v)))
     program;
-  { graph = st.graph; plots = List.rev !plots }
+  { graph = st.graph; plots = List.rev !plots;
+    torn = st.torn_sections; retried = st.retries; repaired = st.repaired;
+    torn_boxes = st.torn_boxes }
 
 (* Surface target-layer failures (bad member paths, derefs, ...) as
    ViewCL errors. *)

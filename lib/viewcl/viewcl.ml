@@ -21,17 +21,24 @@ let default_config = Interp.default_config
 
 let parse = Parser.parse_program
 
-type result = Interp.result = { graph : Vgraph.t; plots : Vgraph.box_id list }
+type result = Interp.result = {
+  graph : Vgraph.t;
+  plots : Vgraph.box_id list;
+  torn : int;
+  retried : int;
+  repaired : int;
+  torn_boxes : int;
+}
 
 (** Evaluate [src] against [tgt]. [prelude] supplies predefined Box
     definitions (the "standard library" of common kernel structures). *)
-let run ?cfg ?(prelude = []) tgt src =
+let run ?cfg ?limits ?(prelude = []) tgt src =
   let defs =
     List.concat_map
       (fun p -> List.filter_map (function Ast.Define d -> Some d | _ -> None) p)
       prelude
   in
-  Interp.run ?cfg ~defs tgt (parse src)
+  Interp.run ?cfg ?limits ~defs tgt (parse src)
 
 (** Count non-blank, non-comment source lines (the paper's Table 2 LoC
     metric for ViewCL programs). *)

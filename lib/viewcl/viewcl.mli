@@ -48,13 +48,24 @@ val default_config : config
 val parse : string -> Ast.program
 (** @raise Error on malformed input. *)
 
-type result = Interp.result = { graph : Vgraph.t; plots : Vgraph.box_id list }
+type result = Interp.result = {
+  graph : Vgraph.t;
+  plots : Vgraph.box_id list;
+  torn : int;  (** consistent sections that closed dirty (a writer raced the walk) *)
+  retried : int;  (** box re-extraction attempts performed *)
+  repaired : int;  (** boxes whose retry produced a clean snapshot *)
+  torn_boxes : int;  (** boxes degraded to [TORN] after the retry budget *)
+}
 
-val run : ?cfg:config -> ?prelude:Ast.program list -> Target.t -> string -> result
+val run :
+  ?cfg:config -> ?limits:Interp.limits -> ?prelude:Ast.program list -> Target.t -> string -> result
 (** Evaluate a program against a live target. [prelude] supplies
     predefined Box definitions. Box construction is memoized per
     (definition, address), so shared objects become shared boxes and
-    cyclic structures terminate. @raise Error on failure. *)
+    cyclic structures terminate. Every box builds inside a consistent
+    section (seqlock-style) and is retried up to [limits.max_retries]
+    times when a writer races it, then degrades to a [TORN] box.
+    @raise Error on failure. *)
 
 val loc_of : string -> int
 (** Non-blank, non-comment source lines — the paper's Table 2 LoC

@@ -198,3 +198,77 @@ let run ?(iters = 3) t =
   simulate_time t
 
 let leaders t = List.map fst t.procs
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: interleaved mutators racing an extraction *)
+
+(** Mutators fired between target reads (via {!Target.set_read_hook}) at
+    a seeded rate, simulating the live kernel changing under the
+    debugger mid-[vplot] — the hazard consistent sections exist to
+    catch.  All writes go straight through {!Kcontext}/{!Kmem} (never
+    through the target), so firing from inside a read cannot recurse;
+    an independent PRNG keeps the base workload's determinism intact. *)
+module Chaos = struct
+  type chaos = {
+    wl : t;
+    rate : float;  (** probability a performed read triggers one mutation *)
+    mutable crng : int;
+    mutable fired : int;  (** mutations performed so far *)
+  }
+
+  let create ?(seed = 0xC4405) wl ~rate = { wl; rate; crng = (seed * 2) + 1; fired = 0 }
+
+  let crand c n =
+    let x = c.crng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    c.crng <- x land max_int;
+    c.crng mod n
+
+  (* One small mutation of live kernel state.  Weighted toward cheap
+     single-word stores (vruntime bumps, comm scribbles); occasionally a
+     timer add or an mmap/munmap — the latter frees and rebuilds maple
+     nodes, the StackRot-shaped race.  Must never raise. *)
+  let mutate c =
+    let k = c.wl.kernel in
+    let ctx = k.Kstate.ctx in
+    match c.wl.procs with
+    | [] -> ()
+    | procs -> (
+        let leader, _ = List.nth procs (crand c (List.length procs)) in
+        match crand c 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            (* scheduler activity: bump the leader's vruntime *)
+            let v = Kcontext.r64 ctx leader "task_struct" "se.vruntime" in
+            Kcontext.w64 ctx leader "task_struct" "se.vruntime" (v + 1024 + crand c 4096)
+        | 6 | 7 ->
+            (* rename: scribble the comm field *)
+            Kcontext.wstr ctx leader "task_struct" "comm" ~field_size:16
+              (Printf.sprintf "chaos-%d" (crand c 1000))
+        | 8 ->
+            ignore
+              (Ktimer.add_timer k.Kstate.timers ~cpu:(crand c k.Kstate.ncpus)
+                 ~delta:(1 + crand c 1000) "chaos_timeout")
+        | _ ->
+            (* VMA churn: mmap (and sometimes munmap) frees + rebuilds
+               the whole maple node generation under the walker *)
+            let pid = Ktask.pid ctx leader in
+            let vma =
+              Ksyscall.mmap_anon k leader
+                ~start:(anon_base pid (8 + crand c 4))
+                ~npages:(1 + crand c 2) ~writable:true
+            in
+            if crand c 2 = 0 then Ksyscall.munmap k leader vma)
+
+  (* The read hook itself: fire one mutation with probability [rate]. *)
+  let hook c () =
+    if c.rate > 0. && float_of_int (crand c 1_000_000) /. 1_000_000. < c.rate then begin
+      c.fired <- c.fired + 1;
+      mutate c
+    end
+
+  let arm c tgt = Target.set_read_hook tgt (Some (hook c))
+  let disarm tgt = Target.set_read_hook tgt None
+  let fired c = c.fired
+end

@@ -42,3 +42,33 @@ val leaders : t -> Kmem.addr list
 
 val rand : t -> int -> int
 (** The workload's deterministic PRNG (exposed for tests). *)
+
+(** Chaos harness: seeded mutators fired between target reads (via
+    {!Target.set_read_hook}), simulating the live kernel changing under
+    the debugger mid-plot.  Mutations are weighted toward cheap stores
+    (vruntime bumps, comm scribbles) with occasional timer adds and
+    mmap/munmap churn — the latter frees and rebuilds maple nodes, the
+    StackRot-shaped race.  All writes bypass the target (straight to
+    {!Kmem}), so firing from inside a read cannot recurse; an
+    independent PRNG keeps the base workload deterministic. *)
+module Chaos : sig
+  type chaos
+
+  val create : ?seed:int -> t -> rate:float -> chaos
+  (** [rate] — probability that one performed read fires one mutation. *)
+
+  val arm : chaos -> Target.t -> unit
+  (** Install the chaos hook on the target. *)
+
+  val disarm : Target.t -> unit
+  (** Remove any read hook from the target. *)
+
+  val fired : chaos -> int
+  (** Mutations performed so far. *)
+
+  val hook : chaos -> unit -> unit
+  (** The raw hook (exposed for tests driving it manually). *)
+
+  val mutate : chaos -> unit
+  (** Perform one mutation unconditionally (exposed for tests). *)
+end

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Performance-regression guard (ISSUE 4): compare the freshly written
+# BENCH_smoke.json bench.plot_ms wall-clock sum against the committed
+# baseline (git show HEAD:BENCH_smoke.json).  Fails when the new sum
+# exceeds the baseline by more than the relative budget, with an
+# absolute slack floor so sub-100ms timer noise cannot trip the gate
+# on a fast machine.  Skips (exit 0) when there is no committed
+# baseline to compare against.
+set -eu
+
+BUDGET_PCT="${BENCH_COMPARE_BUDGET_PCT:-25}"
+SLACK_MS="${BENCH_COMPARE_SLACK_MS:-100}"
+FILE="${1:-BENCH_smoke.json}"
+
+sum_of() {
+    grep -o '"bench.plot_ms":{[^}]*}' | sed -n 's/.*"sum":\([0-9.eE+-]*\).*/\1/p'
+}
+
+[ -f "$FILE" ] || { echo "bench-compare: $FILE missing (run make bench-smoke first)"; exit 1; }
+
+base=$(git show HEAD:"$FILE" 2>/dev/null | sum_of)
+cur=$(sum_of < "$FILE")
+
+if [ -z "$base" ]; then
+    echo "bench-compare: no committed baseline for $FILE - skipping"
+    exit 0
+fi
+if [ -z "$cur" ]; then
+    echo "bench-compare: $FILE has no bench.plot_ms histogram"
+    exit 1
+fi
+
+awk -v base="$base" -v cur="$cur" -v pct="$BUDGET_PCT" -v slack="$SLACK_MS" 'BEGIN {
+    budget = base * (1 + pct / 100);
+    if (budget < base + slack) budget = base + slack;
+    printf "bench-compare: bench.plot_ms sum %.2f ms vs baseline %.2f ms (budget %.2f ms)\n",
+        cur, base, budget;
+    exit (cur > budget) ? 1 : 0;
+}'

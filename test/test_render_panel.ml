@@ -186,8 +186,24 @@ let test_persistence () =
   let json = Panel.to_json t in
   Alcotest.(check bool) "layout serialized" true (contains json "\"leaf\"")
 
+let test_multi_tag_order () =
+  (* status tags compose deterministically: [BROKEN], then [TORN], then
+     [SUSPECT:<law>] sorted by law — whatever order the marks landed *)
+  let g = Vgraph.create () in
+  let b = Vgraph.add_box g ~btype:"task_struct" ~bdef:"T" ~addr:0x1000 ~size:64 ~container:false in
+  Vgraph.set_view b "default" [];
+  Vgraph.set_root g b.Vgraph.id;
+  Vgraph.mark_suspect b ~law:"rbtree" "red-red edge";
+  Vgraph.mark_broken b "read fault";
+  Vgraph.mark_suspect b ~law:"list" "no closure";
+  Vgraph.mark_torn b "raced by a writer";
+  let out = Render.ascii g in
+  Alcotest.(check bool) "composed in order" true
+    (contains out "[BROKEN] [TORN] [SUSPECT:list] [SUSPECT:rbtree]")
+
 let suite =
   [ Alcotest.test_case "ascii shows everything" `Quick test_ascii_contains_all;
+    Alcotest.test_case "multi-tag composition order" `Quick test_multi_tag_order;
     Alcotest.test_case "trimmed hides subtree" `Quick test_trimmed_hides_subtree;
     Alcotest.test_case "collapsed stub" `Quick test_collapsed_stub;
     Alcotest.test_case "view switch rendered" `Quick test_view_switch_rendered;
