@@ -6,7 +6,7 @@
 # rates), lints formatting, and does one full bench iteration so that a
 # broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench bench-smoke chaos-smoke obs-smoke bench-compare fmt-check ci check clean
+.PHONY: all test bench bench-smoke chaos-smoke perf-smoke obs-smoke bench-compare fmt-check ci check clean
 
 all:
 	dune build @all
@@ -24,18 +24,32 @@ bench-smoke: all
 	dune exec bench/main.exe -- --fault-rate 0.0,0.05 --profile kgdb_rpi400 --deadline-ms 500 --seed 7
 
 # Chaos smoke: the Table 2 figures extracted while seeded mutators race
-# the walk (clean rate + 5%). The bench itself asserts zero uncaught
-# exceptions; the awk pass additionally requires at least one torn
-# section at the nonzero rate, so the harness can't go silently vacuous.
+# the walk (clean, 5%, 20%). The bench itself asserts zero uncaught
+# exceptions and cached-vs-cold render identity at every rate; the awk
+# pass additionally requires at least one torn section at a nonzero
+# rate and a nonzero sanity.checked counter in the metrics artifact, so
+# neither the harness nor the sanitizer can go silently vacuous.
 chaos-smoke: all
-	dune exec bench/main.exe -- --chaos-rate 0.0,0.05 --seed 803845 > chaos_smoke.out \
+	dune exec bench/main.exe -- --chaos-rate 0.0,0.05,0.2 --seed 803845 > chaos_smoke.out \
 		|| { cat chaos_smoke.out; rm -f chaos_smoke.out; exit 1; }
 	@cat chaos_smoke.out
 	@awk '/^0\.050/ { torn = $$5 } END { exit (torn + 0 < 1) ? 1 : 0 }' chaos_smoke.out \
 		|| { echo "chaos-smoke: no torn sections at rate 0.05 (harness vacuous)"; \
 		     rm -f chaos_smoke.out; exit 1; }
+	@grep -o '"sanity.checked":[0-9]*' BENCH_chaos.json | grep -qv ':0$$' \
+		|| { echo "chaos-smoke: sanity.checked is 0 (sanitizer vacuous)"; \
+		     rm -f chaos_smoke.out; exit 1; }
 	@rm -f chaos_smoke.out
 	@echo "chaos-smoke: ok"
+
+# Perf smoke (ISSUE 5): the repeat-plot workload over the slow KGDB
+# link profile. The bench asserts the cache gates internally: box
+# hit-rate >= 50%, wire fetches per warm refresh at least 5x below the
+# uncached control, and warm-refresh p50 at least 3x under the cold
+# plot p50.
+perf-smoke: all
+	dune exec bench/main.exe -- --repeat-plot 5 --seed 7
+	@echo "perf-smoke: ok"
 
 # Wall-clock regression guard: fresh BENCH_smoke.json vs. the committed
 # baseline (25% relative budget with an absolute slack floor).
@@ -55,7 +69,7 @@ fmt-check:
 		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
 	else echo "fmt-check: clean"; fi
 
-ci: all test bench-smoke bench-compare chaos-smoke obs-smoke fmt-check
+ci: all test bench-smoke bench-compare chaos-smoke perf-smoke obs-smoke fmt-check
 
 check: ci bench
 

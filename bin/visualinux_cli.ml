@@ -200,6 +200,8 @@ let repl_help =
   link deadline <ms|off> per-plot deadline budget (simulated ms)
   recover                rebuild the pane layout from the session journal
   refresh                re-extract stale panes against the live link
+  vrefresh <pane>        re-plot a pane through its cache: unchanged
+                         boxes are adopted, written-to boxes rebuilt
   vprof on | off         enable/disable tracing and metrics collection
   vprof report           profile table, counters, histogram quantiles
   vprof export <file>    write buffered spans as Chrome trace JSON
@@ -400,6 +402,22 @@ let repl_cmd =
           let ids = Visualinux.refresh_stale s in
           Printf.printf "refreshed %d panes\n" (List.length ids);
           Ok ()
+      | [ "vrefresh"; pane ] -> (
+          let* p = pane_of pane in
+          match Visualinux.vrefresh s ~pane:p.Panel.pid with
+          | None -> Error (Printf.sprintf "pane %d cannot refresh (secondary, or link down)" p.Panel.pid)
+          | Some (res, stats) ->
+              Printf.printf
+                "pane %d: %d boxes in %.2f ms — %d adopted, %d rebuilt, %d new\n"
+                p.Panel.pid stats.Visualinux.boxes stats.Visualinux.wall_ms
+                stats.Visualinux.cache_hits stats.Visualinux.cache_invalidated
+                stats.Visualinux.cache_misses;
+              (match res.Viewcl.rebuilt with
+              | [] -> ()
+              | ids ->
+                  Printf.printf "  rebuilt boxes: %s\n"
+                    (String.concat ", " (List.map (Printf.sprintf "#%d") ids)));
+              Ok ())
       | [ "vprof"; "on" ] | [ "vprof"; "off" ] ->
           let enable = words = [ "vprof"; "on" ] in
           (match

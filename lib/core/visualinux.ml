@@ -16,6 +16,10 @@ type session = {
   mutable panel : Panel.t;  (** replaced wholesale by {!recover} *)
   cfg : Viewcl.config;
   mutable target_pid : int;
+  caches : (Panel.pane_id, Viewcl.cache) Hashtbl.t;
+      (** per-pane plot caches: {!vrefresh} and {!refresh_stale} pass a
+          pane's cache back to ViewCL so a re-plot re-extracts only the
+          boxes whose pages were written since the last one *)
 }
 
 (** The EMOJI decorator instances of Table 1: stateful-value glyphs. *)
@@ -56,7 +60,8 @@ let attach ?target_pid ?transport kernel =
         | None -> ( match users with t :: _ -> Ktask.pid ctx t | [] -> 1))
   in
   Target.add_macro target "target_pid" pid;
-  { kernel; target; panel = Panel.create (); cfg = config (); target_pid = pid }
+  { kernel; target; panel = Panel.create (); cfg = config (); target_pid = pid;
+    caches = Hashtbl.create 8 }
 
 let set_target_pid s pid =
   s.target_pid <- pid;
@@ -75,6 +80,9 @@ type plot_stats = {
   link : Transport.snapshot option;  (** transport health, when attached *)
   spans : int;  (** obs spans recorded during this plot (0 when disabled) *)
   trace : Obs.span list option;  (** those spans, oldest first, when tracing *)
+  cache_hits : int;  (** boxes adopted from the previous plot of this pane *)
+  cache_misses : int;  (** boxes built for the first time *)
+  cache_invalidated : int;  (** stale cached boxes re-extracted in place *)
 }
 
 (** vplot: evaluate ViewCL source, open a primary pane with the plot. *)
@@ -98,10 +106,13 @@ let vplot s ?(title = "plot") src =
       Some (List.filter (fun (sp : Obs.span) -> sp.Obs.st0_ms >= rel0) (Obs.span_events ()))
     else None
   in
+  Hashtbl.replace s.caches pane.Panel.pid res.Viewcl.cache;
   let stats =
     { boxes = Vgraph.box_count res.Viewcl.graph; bytes = Vgraph.total_bytes res.Viewcl.graph;
       reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms;
-      link = Option.map Transport.snapshot (Target.transport s.target); spans; trace }
+      link = Option.map Transport.snapshot (Target.transport s.target); spans; trace;
+      cache_hits = res.Viewcl.cache_hits; cache_misses = res.Viewcl.cache_misses;
+      cache_invalidated = res.Viewcl.cache_invalidated }
   in
   (pane, res, stats)
 
@@ -126,6 +137,7 @@ let vctrl s cmd =
       Option.iter Transport.begin_plot (Target.transport s.target);
       let res = Viewcl.run ~cfg:s.cfg s.target program in
       let p = Panel.split s.panel ~dir ~at:pane ~program res.Viewcl.graph in
+      Hashtbl.replace s.caches p.Panel.pid res.Viewcl.cache;
       Opened p.Panel.pid
   | Focus { addr } -> Found (Panel.focus s.panel ~addr)
   | Select { pane; boxes } ->
@@ -212,13 +224,20 @@ let replay s programs =
    ids the pre-crash session had. *)
 
 (** Run one ViewCL program for pane recovery; [None] when the link is
-    (still) unusable, so the pane comes back [stale] instead of empty. *)
-let extract_for s program =
+    (still) unusable, so the pane comes back [stale] instead of empty.
+    With [?cache] (a pane's plot cache) the extraction is incremental:
+    only boxes whose pages were written since the cached plot are
+    re-extracted, and the updated cache is published through
+    [on_cache]. *)
+let extract_for ?cache ?(on_cache = fun _ -> ()) s program =
   match Target.transport s.target with
   | Some tr when Transport.link tr = Transport.Down -> None
   | tr_opt -> (
       Option.iter Transport.begin_plot tr_opt;
-      try Some (Viewcl.run ~cfg:s.cfg s.target program).Viewcl.graph
+      try
+        let res = Viewcl.run ~cfg:s.cfg ?cache s.target program in
+        on_cache res.Viewcl.cache;
+        Some res.Viewcl.graph
       with _ -> None)
 
 (** Rebuild the whole pane layout from the session journal (or an
@@ -228,16 +247,86 @@ let recover ?ops s =
   (match Target.transport s.target with
   | Some tr when Transport.link tr = Transport.Down -> Transport.reconnect tr
   | _ -> ());
+  (* Journal replay rebuilds every pane from scratch (and reassigns pane
+     ids as the ops are replayed), so the per-pane caches are dead
+     weight — drop them rather than risk pairing a cache with the wrong
+     pane. *)
+  Hashtbl.reset s.caches;
   let ops = match ops with Some o -> o | None -> Panel.journal s.panel in
   let panel, stale = Panel.recover ~extract:(extract_for s) ops in
   s.panel <- panel;
   stale
 
-(** Re-extract every stale pane; returns the ids brought back live. *)
+(** Re-extract every stale pane; returns the ids brought back live.
+    Panes plotted in this session refresh incrementally through their
+    plot cache. *)
 let refresh_stale s =
   List.filter
-    (fun id -> Panel.refresh s.panel ~at:id ~extract:(extract_for s))
+    (fun id ->
+      Panel.refresh s.panel ~at:id
+        ~extract:
+          (extract_for
+             ?cache:(Hashtbl.find_opt s.caches id)
+             ~on_cache:(Hashtbl.replace s.caches id) s))
     (Panel.stale_ids s.panel)
+
+(** vrefresh: incrementally re-plot a primary pane in place.  The pane's
+    plot cache carries every box of the previous extraction stamped with
+    the (page, generation) pairs it read; the re-plot adopts boxes whose
+    pages are untouched and re-extracts — in place, under the same box
+    ids — only those invalidated by kernel writes, then replays the
+    pane's ViewQL history.  Returns the ViewCL result and {!plot_stats}
+    (same shape as {!vplot}); [None] for unknown/secondary panes or a
+    dead link. *)
+let vrefresh s ~pane =
+  match Panel.pane_opt s.panel pane with
+  | None -> None
+  | Some { Panel.kind = Panel.Secondary _; _ } -> None
+  | Some { Panel.kind = Panel.Primary { program }; _ } -> (
+      match Target.transport s.target with
+      | Some tr when Transport.link tr = Transport.Down -> None
+      | tr_opt -> (
+          Target.reset_stats s.target;
+          Option.iter Transport.begin_plot tr_opt;
+          let spans0 = Obs.spans_total () in
+          let rel0 = Obs.since_epoch_ms () in
+          let t0 = Obs.Clock.now_ms () in
+          match
+            Obs.with_span ~cat:"core" "core.vrefresh" (fun () ->
+                try
+                  let res =
+                    Viewcl.run ~cfg:s.cfg
+                      ?cache:(Hashtbl.find_opt s.caches pane)
+                      s.target program
+                  in
+                  Hashtbl.replace s.caches pane res.Viewcl.cache;
+                  if Panel.refresh s.panel ~at:pane ~extract:(fun _ -> Some res.Viewcl.graph)
+                  then Some res
+                  else None
+                with _ -> None)
+          with
+          | None -> None
+          | Some res ->
+              let wall_ms = Obs.Clock.elapsed_ms t0 in
+              let st = Target.stats s.target in
+              let spans = Obs.spans_total () - spans0 in
+              let trace =
+                if Obs.enabled () then
+                  Some
+                    (List.filter
+                       (fun (sp : Obs.span) -> sp.Obs.st0_ms >= rel0)
+                       (Obs.span_events ()))
+                else None
+              in
+              Some
+                ( res,
+                  { boxes = Vgraph.box_count res.Viewcl.graph;
+                    bytes = Vgraph.total_bytes res.Viewcl.graph;
+                    reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms;
+                    link = Option.map Transport.snapshot (Target.transport s.target);
+                    spans; trace; cache_hits = res.Viewcl.cache_hits;
+                    cache_misses = res.Viewcl.cache_misses;
+                    cache_invalidated = res.Viewcl.cache_invalidated } )))
 
 (** Render one pane as ASCII, with its [STALE] tag and the transport
     health line when a link is attached. *)

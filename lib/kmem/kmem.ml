@@ -177,6 +177,12 @@ let clear_injection mem =
   mem.inj_rng <- 0x9e3779b9;
   mem.poisoned <- []
 
+(* The injection LCG advances once per performed read, so any layer that
+   wants to *skip* reads (a cache) would change the fault pattern of
+   every read after it.  Caches consult this to disable reuse while
+   injection is live, keeping injected runs byte-for-byte reproducible. *)
+let injection_active mem = mem.inj_rate > 0. || mem.poisoned <> []
+
 let injected mem a n =
   let ranged = List.exists (fun (b, len) -> a < b + len && b < a + n) mem.poisoned in
   let random =

@@ -139,6 +139,13 @@ val flip_bits : t -> addr -> mask:int -> unit
 val clear_injection : t -> unit
 (** Disable probabilistic failure and forget all poisoned ranges. *)
 
+val injection_active : t -> bool
+(** Whether any fault injection (probabilistic failure or poisoned
+    ranges) is currently armed.  Read caches consult this: the
+    injection LCG draws once per performed read, so skipping reads
+    while injection is live would change every later fault — caching
+    layers disable cross-run reuse instead. *)
+
 (** {1 Access accounting and faults} *)
 
 val faults : t -> fault list

@@ -62,8 +62,14 @@ let ring_w = ref 0
 let ring_n = ref 0
 let dropped_n = ref 0
 
+(* Bounded above: the ring is a diagnostic buffer, not a log.  The
+   clamp keeps a workload-sized capacity request from allocating
+   unbounded memory; tiny rings stay allowed (tests exercise overflow
+   with single-digit capacities). *)
+let max_capacity = 1 lsl 20
+
 let set_ring_capacity cap =
-  ring := Array.make (max 1 cap) None;
+  ring := Array.make (min max_capacity (max 1 cap)) None;
   ring_w := 0;
   ring_n := 0;
   dropped_n := 0

@@ -93,7 +93,11 @@ val spans_total : unit -> int
 (** Spans ever recorded since the last {!reset} (survives eviction). *)
 
 val set_ring_capacity : int -> unit
-(** Resize the ring (default 32768 events). Drops buffered events. *)
+(** Resize the ring (default 32768 events), dropping buffered events.
+    Bounded: the requested capacity is clamped to at most [2^20]
+    events, so callers sizing the ring to a workload (e.g. [bench
+    --obs] sizing it to the full suite) cannot allocate unbounded
+    memory. *)
 
 (** {1 Metrics registry} *)
 

@@ -47,6 +47,15 @@ type t = {
   mutable sections : section list;  (* innermost consistent section first *)
   mutable read_hook : (unit -> unit) option;  (* chaos: fired between reads *)
   mutable in_hook : bool;  (* reentrancy guard for [read_hook] *)
+  (* Generation-validated read cache (transport-avoidance only): page
+     index -> Kmem page generation at fill.  A lookup is a hit when
+     every page of the read still carries its fill-time generation; any
+     Kmem write bumps the page's generation, invalidating lazily. *)
+  rcache : (int, int) Hashtbl.t;
+  mutable cache_on : bool;
+  mutable ch_hits : int;
+  mutable ch_misses : int;
+  mutable ch_coalesced : int;
 }
 
 and helper = t -> value list -> value
@@ -65,6 +74,11 @@ let create kmem reg =
     sections = [];
     read_hook = None;
     in_hook = false;
+    rcache = Hashtbl.create 1024;
+    cache_on = true;
+    ch_hits = 0;
+    ch_misses = 0;
+    ch_coalesced = 0;
   }
 
 let mem t = t.kmem
@@ -190,6 +204,15 @@ let consistent t f =
       ignore (end_consistent t sec);
       raise e
 
+(* The (page, first-read generation stamp) pairs a section observed.  For
+   a section that closed clean these are exactly the pages the build
+   read, each with its still-current generation — the validity key an
+   incremental re-plot needs: the snapshot is reusable until some page's
+   generation moves. *)
+let section_pages sec =
+  Hashtbl.fold (fun p stamp acc -> (p, stamp) :: acc) sec.sec_pages []
+  |> List.sort compare
+
 let set_read_hook t h = t.read_hook <- h
 
 (* Fire the chaos hook after a performed read.  The guard stops a hook
@@ -253,27 +276,127 @@ let transported t ~ctx ~at ~bytes ~default perform =
                 (Link_lost { at; ctx; detail = Transport.error_to_string err }));
           default)
 
+(* ------------------------------------------------------------------ *)
+(* Generation-validated read cache.
+
+   The cache avoids transport round-trips, nothing else: a hit skips
+   [Transport.fetch] but still performs the Kmem read, so read counters,
+   consistent-section page registration, injection draws and the chaos
+   hook all behave exactly as on the uncached path — a cached run and an
+   uncached run issue the same Kmem read sequence.  Without a transport
+   reads are local and free, so the cache is bypassed entirely (and
+   counts nothing). *)
+
+let c_hits = Obs.Counter.make "cache.hits"
+let c_misses = Obs.Counter.make "cache.misses"
+let c_coalesced = Obs.Counter.make "cache.coalesced_reads"
+
+let pages_fresh t a n =
+  let last = (a + max n 1 - 1) lsr Kmem.page_bits in
+  let rec go p =
+    p > last
+    || (match Hashtbl.find_opt t.rcache p with
+       | Some g -> g = Kmem.page_generation t.kmem p && go (p + 1)
+       | None -> false)
+  in
+  go (a lsr Kmem.page_bits)
+
+let fill_pages t a n =
+  for p = a lsr Kmem.page_bits to (a + max n 1 - 1) lsr Kmem.page_bits do
+    Hashtbl.replace t.rcache p (Kmem.page_generation t.kmem p)
+  done
+
+type cache_stats = { hits : int; misses : int; coalesced : int }
+
+let cache_stats t = { hits = t.ch_hits; misses = t.ch_misses; coalesced = t.ch_coalesced }
+
+let reset_cache_stats t =
+  t.ch_hits <- 0;
+  t.ch_misses <- 0;
+  t.ch_coalesced <- 0
+
+let set_read_cache t on =
+  t.cache_on <- on;
+  if not on then Hashtbl.reset t.rcache
+
+let read_cache_enabled t = t.cache_on
+let clear_read_cache t = Hashtbl.reset t.rcache
+
+(* The cache only ever substitutes for fetches the transport would have
+   served: while the link is down or the breaker is open, every read
+   must go through (and be refused by) the transport, so that crash
+   semantics — stale panes, Link_lost faults, frozen read counters —
+   are identical with and without caching. *)
+let cache_usable t tr =
+  t.cache_on && Transport.link tr = Transport.Up && Transport.breaker tr = Transport.Closed
+
+let cache_hit t =
+  t.ch_hits <- t.ch_hits + 1;
+  if Obs.enabled () then Obs.Counter.incr c_hits
+
+let cache_miss t =
+  if t.cache_on then begin
+    t.ch_misses <- t.ch_misses + 1;
+    if Obs.enabled () then Obs.Counter.incr c_misses
+  end
+
+(* Struct-granular coalescing: fetch a whole object extent in one
+   transport round-trip and stamp its pages, so the per-field reads that
+   follow are cache hits (one packet per box instead of one per field,
+   like GDB's 'g'-packet batching).  On a refused fetch nothing is
+   recorded or stamped: each field read then goes through the transport
+   individually and degrades per-field, keeping [BROKEN]/[TORN]
+   semantics byte-identical to the uncoalesced path.  The prefetch
+   performs no Kmem read — no counters, no section registration, no
+   injection draw — so it is invisible to everything but the wire. *)
+let prefetch t a n =
+  match t.transport with
+  | None -> ()
+  | Some tr ->
+      if cache_usable t tr && n > 0
+         && not (a >= 0 && a < null_guard)
+         && not (pages_fresh t a n)
+      then
+        match Transport.fetch tr ~bytes:n (fun () -> ()) with
+        | Ok () ->
+            t.ch_coalesced <- t.ch_coalesced + 1;
+            if Obs.enabled () then Obs.Counter.incr c_coalesced;
+            fill_pages t a n
+        | Error _ -> ()
+
 let read_scalar t ~ctx a size signed =
   if not (validate t ~ctx a) then 0
   else begin
+    let perform () =
+      Obs.Counter.incr c_reads;
+      Obs.Counter.add c_bytes size;
+      observe_read t a size;
+      let c0 = Kmem.fault_count t.kmem in
+      let v =
+        match (size, signed) with
+        | 1, false -> Kmem.read_u8 t.kmem a
+        | 1, true -> Kmem.read_i8 t.kmem a
+        | 2, false -> Kmem.read_u16 t.kmem a
+        | 2, true -> Kmem.read_i16 t.kmem a
+        | 4, false -> Kmem.read_u32 t.kmem a
+        | 4, true -> Kmem.read_i32 t.kmem a
+        | _ -> Kmem.read_u64 t.kmem a
+      in
+      mirror_injected t c0;
+      v
+    in
     let go () =
-      transported t ~ctx ~at:a ~bytes:size ~default:0 (fun () ->
-        Obs.Counter.incr c_reads;
-        Obs.Counter.add c_bytes size;
-        observe_read t a size;
-        let c0 = Kmem.fault_count t.kmem in
-        let v =
-          match (size, signed) with
-          | 1, false -> Kmem.read_u8 t.kmem a
-          | 1, true -> Kmem.read_i8 t.kmem a
-          | 2, false -> Kmem.read_u16 t.kmem a
-          | 2, true -> Kmem.read_i16 t.kmem a
-          | 4, false -> Kmem.read_u32 t.kmem a
-          | 4, true -> Kmem.read_i32 t.kmem a
-          | _ -> Kmem.read_u64 t.kmem a
-        in
-        mirror_injected t c0;
-        v)
+      match t.transport with
+      | None -> perform ()
+      | Some tr when cache_usable t tr && pages_fresh t a size ->
+          cache_hit t;
+          perform ()
+      | Some _ ->
+          cache_miss t;
+          transported t ~ctx ~at:a ~bytes:size ~default:0 (fun () ->
+              let v = perform () in
+              if t.cache_on then fill_pages t a size;
+              v)
     in
     let v = if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go () in
     fire_read_hook t;
@@ -283,15 +406,31 @@ let read_scalar t ~ctx a size signed =
 let read_str t ~ctx a reader =
   if not (validate t ~ctx a) then ""
   else begin
+    let perform () =
+      let c0 = Kmem.fault_count t.kmem in
+      let s = reader t.kmem a in
+      Obs.Counter.incr c_reads;
+      Obs.Counter.add c_bytes (String.length s);
+      observe_read t a (max 8 (String.length s + 1));
+      mirror_injected t c0;
+      s
+    in
     let go () =
-      transported t ~ctx ~at:a ~bytes:8 ~default:"" (fun () ->
-          let c0 = Kmem.fault_count t.kmem in
-          let s = reader t.kmem a in
-          Obs.Counter.incr c_reads;
-          Obs.Counter.add c_bytes (String.length s);
-          observe_read t a (max 8 (String.length s + 1));
-          mirror_injected t c0;
-          s)
+      match t.transport with
+      | None -> perform ()
+      (* A string's extent is unknown before the read; the hit test
+         validates its first 8-byte granule.  Data is always re-read
+         from Kmem, so a stale tail page can only mean an extra skipped
+         round-trip, never stale bytes. *)
+      | Some tr when cache_usable t tr && pages_fresh t a 8 ->
+          cache_hit t;
+          perform ()
+      | Some _ ->
+          cache_miss t;
+          transported t ~ctx ~at:a ~bytes:8 ~default:"" (fun () ->
+              let s = perform () in
+              if t.cache_on then fill_pages t a (max 8 (String.length s + 1));
+              s)
     in
     let s = if Obs.enabled () then Obs.with_span ~cat:"target" "target.read" go else go () in
     fire_read_hook t;

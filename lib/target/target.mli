@@ -218,11 +218,54 @@ val end_consistent : t -> section -> (addr * addr) list
 val consistent : t -> (unit -> 'a) -> 'a * (addr * addr) list
 (** [consistent t f]: run [f] inside its own section; exception-safe. *)
 
+val section_pages : section -> (int * int) list
+(** The (page index, first-read generation stamp) pairs [sec] observed,
+    sorted by page.  For a section that closed clean these are exactly
+    the pages the enclosed build read, each stamp still current — the
+    validity key for incremental re-extraction: the snapshot is
+    reusable until {!Kmem.page_generation} moves on some page. *)
+
 val set_read_hook : t -> (unit -> unit) option -> unit
 (** Install (or clear) a hook fired after every performed checked read
     — the chaos harness's injection point for mutators that race the
     extraction.  Reentrant firing is suppressed: a hook whose own work
     reads through this target does not recurse. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generation-validated read cache + struct-granular coalescing *)
+
+val prefetch : t -> addr -> int -> unit
+(** [prefetch t a n]: fetch the object extent [\[a, a+n)] in one
+    transport round-trip and stamp its pages in the read cache, so the
+    per-field reads that follow hit memory instead of the wire (one
+    packet per box instead of one per field).  A refused fetch records
+    nothing: each field read then degrades individually, keeping
+    [BROKEN]/[TORN] semantics identical to the uncoalesced path.  No-op
+    without a transport, with the cache disabled, for empty extents and
+    for null-page addresses. *)
+
+type cache_stats = { hits : int; misses : int; coalesced : int }
+(** Transport-avoidance accounting: [hits] = checked reads served
+    without a round-trip (all pages generation-fresh), [misses] =
+    checked reads that went to the wire, [coalesced] = whole-struct
+    prefetch fetches.  All zero when no transport is attached — local
+    reads bypass the cache entirely. *)
+
+val cache_stats : t -> cache_stats
+val reset_cache_stats : t -> unit
+
+val set_read_cache : t -> bool -> unit
+(** Enable/disable the read cache (default: enabled).  Disabling also
+    drops all cached page stamps, so re-enabling starts cold.  A cache
+    {e hit} skips only [Transport.fetch]: the Kmem read, its counters,
+    consistent-section registration, fault-injection draws and the
+    chaos read hook all still happen, so cached and uncached runs issue
+    the same Kmem read sequence. *)
+
+val read_cache_enabled : t -> bool
+
+val clear_read_cache : t -> unit
+(** Drop every cached page stamp (the next reads all miss). *)
 
 (* ------------------------------------------------------------------ *)
 (* Read accounting and latency models *)

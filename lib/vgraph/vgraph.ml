@@ -43,16 +43,25 @@ type box = {
 
 type t = {
   boxes : (box_id, box) Hashtbl.t;
+  by_name : (string, box_id list ref) Hashtbl.t;
+      (* C type name and ViewCL definition name -> ids, newest first;
+         maintained by [add_box] so ViewQL typed selects need no scan *)
   mutable roots : box_id list;
   mutable next_id : int;
   mutable title : string;
 }
 
 let create ?(title = "plot") () =
-  { boxes = Hashtbl.create 64; roots = []; next_id = 1; title }
+  { boxes = Hashtbl.create 64; by_name = Hashtbl.create 64; roots = []; next_id = 1; title }
 
 let title g = g.title
 let set_title g s = g.title <- s
+
+let index_name g name id =
+  if name <> "" then
+    match Hashtbl.find_opt g.by_name name with
+    | Some l -> l := id :: !l
+    | None -> Hashtbl.add g.by_name name (ref [ id ])
 
 let add_box g ~btype ~bdef ~addr ~size ~container =
   let id = g.next_id in
@@ -63,6 +72,8 @@ let add_box g ~btype ~bdef ~addr ~size ~container =
   in
   Hashtbl.add b.fields "addr" (Faddr addr);
   Hashtbl.replace g.boxes id b;
+  index_name g btype id;
+  if bdef <> btype then index_name g bdef id;
   b
 
 let find g id = Hashtbl.find_opt g.boxes id
@@ -74,6 +85,29 @@ let get g id =
 
 let set_root g id = g.roots <- g.roots @ [ id ]
 let roots g = g.roots
+
+(* Incremental re-plot runs the program again over the SAME graph: the
+   old roots are dropped and the re-run appends the new ones.  Boxes
+   stay (reused ones keep their ids); anything the new roots no longer
+   reach is simply unreachable. *)
+let clear_roots g = g.roots <- []
+
+(* Strip everything a box build produces — views, members, recorded
+   fields, broken/torn/suspect verdicts — so the box can be re-extracted
+   in place under its existing id.  Display attributes (view, trimmed,
+   collapsed, direction, other extras) survive: they belong to the
+   user's refinements, not to the extraction. *)
+let reset_box b =
+  b.views <- [];
+  b.members <- [];
+  Hashtbl.reset b.fields;
+  Hashtbl.replace b.fields "addr" (Faddr b.addr);
+  b.attrs.extra <-
+    List.filter
+      (fun (k, _) ->
+        k <> "broken" && k <> "torn"
+        && not (String.length k > 8 && String.sub k 0 8 = "suspect:"))
+      b.attrs.extra
 
 let set_view b vname items = b.views <- b.views @ [ (vname, items) ]
 
@@ -123,7 +157,13 @@ let box_count g = Hashtbl.length g.boxes
 (** Total bytes of underlying kernel objects (for cost-per-KB metrics). *)
 let total_bytes g = List.fold_left (fun acc b -> acc + b.size) 0 (boxes g)
 
-let of_type g ty = List.filter (fun b -> b.btype = ty || b.bdef = ty) (boxes g)
+(* Ascending ids of the boxes whose C type or definition name is [ty]:
+   the [by_name] index maintained by [add_box], so typed lookups cost
+   one hash probe instead of a full-graph scan. *)
+let ids_of_type g ty =
+  match Hashtbl.find_opt g.by_name ty with Some l -> List.rev !l | None -> []
+
+let of_type g ty = List.filter_map (find g) (ids_of_type g ty)
 
 (** Items of the currently selected view (fallback: first view). *)
 let current_items b =
@@ -157,6 +197,76 @@ let reachable g seeds =
   in
   List.iter go seeds;
   Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
+
+(** Outgoing box references across ALL views (not just the current one)
+    plus members: the children whose reuse a cached parent depends on,
+    and the edge relation {!renumber} walks. *)
+let child_ids b =
+  let of_item acc = function
+    | Link { target = Some t; _ } -> t :: acc
+    | Inline { target; _ } -> target :: acc
+    | Link { target = None; _ } | Text _ -> acc
+  in
+  let from_views =
+    List.fold_left (fun acc (_, items) -> List.fold_left of_item acc items) [] b.views
+  in
+  List.rev_append from_views b.members
+
+(** Rebuild the graph with ids renumbered 1..n in deterministic
+    preorder from the roots (over {!child_ids}), dropping unreachable
+    boxes.  Two graphs extracted from the same kernel state render
+    identically after renumbering even when one reused boxes under
+    their old ids — the canonical form the cached-vs-cold identity
+    property compares. *)
+let renumber g =
+  let map = Hashtbl.create 64 in
+  let order = ref [] in
+  let count = ref 0 in
+  let stack = ref g.roots in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | id :: rest -> (
+        stack := rest;
+        if not (Hashtbl.mem map id) then
+          match find g id with
+          | None -> ()
+          | Some b ->
+              incr count;
+              Hashtbl.add map id !count;
+              order := b :: !order;
+              stack := child_ids b @ !stack)
+  done;
+  let g' = create ~title:g.title () in
+  List.iter
+    (fun b ->
+      let m id = Hashtbl.find map id in
+      let nb =
+        add_box g' ~btype:b.btype ~bdef:b.bdef ~addr:b.addr ~size:b.size
+          ~container:b.container
+      in
+      nb.views <-
+        List.map
+          (fun (vn, items) ->
+            ( vn,
+              List.map
+                (function
+                  | Text _ as it -> it
+                  | Link { label; target } -> Link { label; target = Option.map m target }
+                  | Inline { label; target } -> Inline { label; target = m target })
+                items ))
+          b.views;
+      nb.members <- List.map m b.members;
+      Hashtbl.iter (fun k v -> Hashtbl.replace nb.fields k v) b.fields;
+      nb.attrs.view <- b.attrs.view;
+      nb.attrs.trimmed <- b.attrs.trimmed;
+      nb.attrs.collapsed <- b.attrs.collapsed;
+      nb.attrs.direction <- b.attrs.direction;
+      nb.attrs.extra <- b.attrs.extra)
+    (List.rev !order);
+  g'.roots <- List.filter_map (fun id -> Hashtbl.find_opt map id) g.roots;
+  g'
 
 (** Visible boxes: reachable from roots, not under a trimmed ancestor. *)
 let visible g =

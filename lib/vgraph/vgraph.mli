@@ -67,6 +67,19 @@ val set_root : t -> box_id -> unit
 
 val roots : t -> box_id list
 
+val clear_roots : t -> unit
+(** Drop the plot roots, keeping all boxes.  An incremental re-plot
+    re-runs the program over the same graph: reused boxes keep their
+    ids, the re-run appends fresh roots, and whatever the new roots no
+    longer reach is simply unreachable. *)
+
+val reset_box : box -> unit
+(** Strip everything extraction produced — views, members, recorded
+    fields, broken/torn/suspect verdicts — so the box can be rebuilt in
+    place under its existing id.  Display attributes ([view], [trimmed],
+    [collapsed], [direction], other extras) survive: they belong to the
+    user's ViewQL refinements, not to the extraction. *)
+
 val set_view : box -> string -> item list -> unit
 (** [set_view box name items] appends a named view to the box. *)
 
@@ -117,6 +130,11 @@ val total_bytes : t -> int
 val of_type : t -> string -> box list
 (** Boxes whose C type or ViewCL definition name matches. *)
 
+val ids_of_type : t -> string -> box_id list
+(** Ascending ids of the boxes whose C type or definition name is the
+    given name — one probe of the index {!add_box} maintains, not a
+    graph scan.  ViewQL's typed [SELECT ... FROM *] path. *)
+
 val current_items : box -> item list
 (** Items of the currently selected view (first view as fallback). *)
 
@@ -130,6 +148,19 @@ val reachable : t -> box_id list -> box_id list
 val visible : t -> box_id list
 (** Boxes actually displayed: reachable from the roots under current
     views, stopping at [trimmed] boxes and below [collapsed] ones. *)
+
+val child_ids : box -> box_id list
+(** Outgoing box references across ALL views (links and inlines, not
+    just the current view's) plus container members: the children a
+    cached box's reuse depends on. *)
+
+val renumber : t -> t
+(** A copy of the graph with ids renumbered [1..n] in deterministic
+    preorder from the roots (over {!child_ids}), unreachable boxes
+    dropped.  Two graphs extracted from the same kernel state render
+    identically after renumbering even when one of them reused boxes
+    under their old ids — the canonical form the cached-vs-cold
+    identity property compares. *)
 
 val json_escape : string -> string
 

@@ -38,14 +38,75 @@ type value =
 
 type env = (string * value) list
 
+(* ------------------------------------------------------------------ *)
+(* The cross-run box memo (incremental re-plot).
+
+   One entry per (definition name, address) — the same key the old
+   per-run memo used, extended with everything needed to decide whether
+   the box built last run is still a faithful snapshot:
+
+   - [e_def]/[e_vhash]: the definition as built (view-hash identity —
+     a redefined Box never reuses stale layouts);
+   - [e_pages]: the (page, Kmem generation) stamps of the consistent
+     section the box built under.  A clean section's stamps are exactly
+     the pages the build read; any Kmem write bumps a page's generation,
+     so comparing stamps against the live memory is a complete, lazy
+     invalidation test;
+   - [e_faulty]: set when the build recorded memory faults or closed
+     dirty — degraded boxes are never reused, a refresh retries them.
+
+   Within one run, [e_run = pc_run] doubles as the old memo-hit test
+   (shared objects become shared boxes; cycles terminate).  Across
+   runs, a valid entry is adopted — subtree and all — with zero reads;
+   an invalid one is re-extracted IN PLACE under its existing box id. *)
+type entry = {
+  e_box : Vgraph.box_id;
+  e_name : string;
+  mutable e_run : int;  (* run stamp when last built or adopted *)
+  mutable e_vhash : int;
+  mutable e_def : boxdef;
+  mutable e_pages : (int * int) list;
+  mutable e_faulty : bool;
+}
+
+type plot_cache = {
+  pc_graph : Vgraph.t;
+  pc_entries : (string * int, entry) Hashtbl.t;
+  pc_by_box : (Vgraph.box_id, entry) Hashtbl.t;
+  mutable pc_run : int;
+}
+
+let create_cache () =
+  { pc_graph = Vgraph.create (); pc_entries = Hashtbl.create 256;
+    pc_by_box = Hashtbl.create 256; pc_run = 0 }
+
+let cache_boxes c = Hashtbl.fold (fun id _ acc -> id :: acc) c.pc_by_box [] |> List.sort compare
+
+let cache_pages c id =
+  match Hashtbl.find_opt c.pc_by_box id with Some e -> e.e_pages | None -> []
+
+let c_box_hits = Obs.Counter.make "cache.box_hits"
+let c_box_misses = Obs.Counter.make "cache.box_misses"
+let c_box_invalidated = Obs.Counter.make "cache.box_invalidated"
+
 type state = {
   tgt : Target.t;
   cfg : config;
-  graph : Vgraph.t;
+  graph : Vgraph.t;  (** = [cache.pc_graph] *)
   defs : (string, boxdef) Hashtbl.t;
-  memo : (string * int, Vgraph.box_id) Hashtbl.t;  (** (def, addr) -> box *)
+  cache : plot_cache;
+  reuse_ok : bool;
+      (** cross-run reuse allowed: false while Kmem fault injection is
+          armed (the injection LCG draws once per performed read, so
+          skipping a subtree's reads would shift every later fault) *)
+  bad : (Vgraph.box_id, unit) Hashtbl.t;  (** per-run invalid verdicts *)
   limits : limits;
   mutable box_budget : int;
+  (* cache accounting for this run *)
+  mutable hits : int;  (** boxes adopted from the previous run, zero reads *)
+  mutable misses : int;  (** keys never built before *)
+  mutable invalidated : int;  (** stale entries re-extracted in place *)
+  mutable rebuilt : Vgraph.box_id list;  (** memoized boxes built this run *)
   (* snapshot-consistency accounting for the whole run *)
   mutable torn_sections : int;  (** consistent sections that came back dirty *)
   mutable retries : int;  (** re-extraction attempts performed *)
@@ -591,11 +652,11 @@ and eval_apply st env name anchor args =
               in
               addr - Ctype.offsetof (Target.types st.tgt) comp rest
         in
-        match Hashtbl.find_opt st.memo (name, addr) with
-        | Some id -> Vbox id
+        match cached_box st name def addr with
+        | Some v -> v
         | None ->
             let this = Vtgt (Target.obj (Ctype.Named def.bctype) addr) in
-            build_box st (("this", this) :: env) ~bdef:name ~btype:def.bctype ~addr
+            build_box st (("this", this) :: env) ~def ~bdef:name ~btype:def.bctype ~addr
               ~views:def.bviews ~bwhere:def.bwhere
       end)
   | None -> (
@@ -606,6 +667,115 @@ and eval_apply st env name anchor args =
       | "List" | "HList" | "RBTree" | "Array" | "XArray" | "MapleEntries" | "Range" ->
           Vlist (snd (eval_iterable st env (Apply { name; anchor; args })))
       | _ -> fail "unknown box definition or container %S" name)
+
+(* The incremental-replot dispatch.  Three outcomes:
+   - the entry was built (or adopted) earlier THIS run: plain memo hit,
+     shared objects become shared boxes and cycles terminate;
+   - the entry survives from a previous run and its whole subtree still
+     matches live memory ({!subtree_valid}): adopt it — the subtree is
+     reused with zero target reads;
+   - otherwise fall through to a rebuild, which happens in place under
+     the existing box id so reused neighbours' links stay valid. *)
+and cached_box st name def addr =
+  match Hashtbl.find_opt st.cache.pc_entries (name, addr) with
+  | None ->
+      st.misses <- st.misses + 1;
+      if Obs.enabled () then Obs.Counter.incr c_box_misses;
+      None
+  | Some e when e.e_run = st.cache.pc_run -> Some (Vbox e.e_box)
+  | Some e ->
+      if st.reuse_ok && e.e_vhash = Hashtbl.hash def && e.e_def = def && subtree_valid st e
+      then begin
+        adopt st e;
+        Some (Vbox e.e_box)
+      end
+      else begin
+        st.invalidated <- st.invalidated + 1;
+        if Obs.enabled () then Obs.Counter.incr c_box_invalidated;
+        None
+      end
+
+(* Is every box reachable from [root_e] still a faithful snapshot?  A
+   memoized box is fresh when the (page, generation) stamps recorded by
+   its consistent section still match live memory and it did not degrade
+   ([e_faulty]).  Containers without entries are walked through — their
+   membership reads happened inside the enclosing box's section, so the
+   enclosing stamps already cover them.  Anything else unmemoized (anon
+   boxes own their reads but record no stamps) is conservatively stale.
+   Entries already stamped with the current run were rebuilt or adopted
+   moments ago and need no descent. *)
+and subtree_valid st root_e =
+  let mem = Target.mem st.tgt in
+  let run = st.cache.pc_run in
+  let seen = Hashtbl.create 32 in
+  let ok = ref true in
+  let stack = ref [ root_e.e_box ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | id :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          if Hashtbl.mem st.bad id then begin
+            ok := false;
+            continue := false
+          end
+          else
+            match (Hashtbl.find_opt st.cache.pc_by_box id, Vgraph.find st.graph id) with
+            | _, None -> ok := false; continue := false
+            | Some e, Some b ->
+                if e.e_run = run then ()
+                else if
+                  e.e_faulty
+                  || not
+                       (List.for_all
+                          (fun (p, g0) -> Kmem.page_generation mem p = g0)
+                          e.e_pages)
+                then begin
+                  ok := false;
+                  continue := false
+                end
+                else stack := List.rev_append (Vgraph.child_ids b) !stack
+            | None, Some b ->
+                if b.Vgraph.container then
+                  stack := List.rev_append (Vgraph.child_ids b) !stack
+                else begin
+                  ok := false;
+                  continue := false
+                end
+        end
+  done;
+  if not !ok then Hashtbl.replace st.bad root_e.e_box ();
+  !ok
+
+(* Stamp every entry in a validated subtree as current, counting each
+   adopted box as a cache hit. *)
+and adopt st root_e =
+  let run = st.cache.pc_run in
+  let seen = Hashtbl.create 32 in
+  let stack = ref [ root_e.e_box ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | id :: rest -> (
+        stack := rest;
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          match (Hashtbl.find_opt st.cache.pc_by_box id, Vgraph.find st.graph id) with
+          | Some e, Some b when e.e_run <> run ->
+              e.e_run <- run;
+              st.hits <- st.hits + 1;
+              if Obs.enabled () then Obs.Counter.incr c_box_hits;
+              stack := List.rev_append (Vgraph.child_ids b) !stack
+          | Some _, _ -> ()
+          | None, Some b when b.Vgraph.container ->
+              stack := List.rev_append (Vgraph.child_ids b) !stack
+          | None, _ -> ()
+        end)
+  done
 
 and effective_items def_views vname =
   (* Resolve view inheritance: parent items first. *)
@@ -621,17 +791,17 @@ and effective_items def_views vname =
   in
   items_of vname []
 
-and build_box st env ~bdef ~btype ~addr ~views ~bwhere =
-  if not (Obs.enabled ()) then build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere
+and build_box ?def st env ~bdef ~btype ~addr ~views ~bwhere =
+  if not (Obs.enabled ()) then build_box_raw ?def st env ~bdef ~btype ~addr ~views ~bwhere
   else
     Obs.with_span ~cat:"viewcl"
       ~attrs:
         [ ("def", (if bdef = "" then "(anon)" else bdef));
           ("type", btype); ("addr", Printf.sprintf "0x%x" addr) ]
       "viewcl.box"
-      (fun () -> build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere)
+      (fun () -> build_box_raw ?def st env ~bdef ~btype ~addr ~views ~bwhere)
 
-and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
+and build_box_raw ?def st env ~bdef ~btype ~addr ~views ~bwhere =
   if st.box_budget <= 0 then fail "plot exceeds %d boxes; refine the ViewCL program" max_boxes;
   st.box_budget <- st.box_budget - 1;
   let size =
@@ -639,8 +809,40 @@ and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
       Ctype.sizeof (Target.types st.tgt) (Ctype.Named btype)
     else 0
   in
-  let b = Vgraph.add_box st.graph ~btype ~bdef ~addr ~size ~container:false in
-  if bdef <> "" then Hashtbl.replace st.memo (bdef, addr) b.Vgraph.id;
+  (* An invalidated entry rebuilds IN PLACE: the box keeps its id, so
+     links into it from adopted neighbours stay valid.  The entry is
+     stamped with the current run BEFORE building so cyclic references
+     back into this box hit the within-run path of {!cached_box},
+     exactly like the old per-run memo. *)
+  let b, entry =
+    let reuse =
+      if bdef = "" then None
+      else
+        match Hashtbl.find_opt st.cache.pc_entries (bdef, addr) with
+        | Some e -> (
+            match Vgraph.find st.graph e.e_box with
+            | Some b -> Some (b, e)
+            | None -> None)
+        | None -> None
+    in
+    match reuse with
+    | Some (b, e) ->
+        Vgraph.reset_box b;
+        (b, Some e)
+    | None -> (
+        let b = Vgraph.add_box st.graph ~btype ~bdef ~addr ~size ~container:false in
+        match def with
+        | Some d when bdef <> "" ->
+            let e =
+              { e_box = b.Vgraph.id; e_name = bdef; e_run = 0; e_vhash = Hashtbl.hash d;
+                e_def = d; e_pages = []; e_faulty = false }
+            in
+            Hashtbl.replace st.cache.pc_entries (bdef, addr) e;
+            Hashtbl.replace st.cache.pc_by_box e.e_box e;
+            (b, Some e)
+        | _ -> (b, None))
+  in
+  (match entry with Some e -> e.e_run <- st.cache.pc_run | None -> ());
   (* Graceful degradation: collect the memory faults hit while building
      THIS box (nested boxes keep theirs — with_faults nests).  A faulting
      box stays in the plot, visibly broken, instead of aborting the
@@ -669,19 +871,27 @@ and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
      only THIS box's ranges.  [end_consistent] runs inside [with_faults]
      so the Torn faults belong to this box, not its parent. *)
   let attempt () =
+    (* Struct-granular coalescing: pull the whole struct extent in one
+       transport round-trip, so the per-field reads below all hit the
+       generation-validated page cache.  A failed prefetch records
+       nothing — the per-field reads then fetch (and fault)
+       individually, keeping [BROKEN]/[TORN] semantics untouched. *)
+    if size > 0 && addr <> 0 then Target.prefetch st.tgt addr size;
     Target.with_faults st.tgt (fun () ->
         let sec = Target.begin_consistent st.tgt in
         match build () with
-        | () -> Target.end_consistent st.tgt sec
+        | () ->
+            let dirty = Target.end_consistent st.tgt sec in
+            (dirty, Target.section_pages sec)
         | exception e ->
             ignore (Target.end_consistent st.tgt sec);
             raise e)
   in
   let rec extract n =
-    let dirty, box_faults = attempt () in
+    let (dirty, pages), box_faults = attempt () in
     if dirty = [] then begin
       if n > 0 then st.repaired <- st.repaired + 1;
-      (dirty, box_faults)
+      (dirty, pages, box_faults)
     end
     else begin
       st.torn_sections <- st.torn_sections + 1;
@@ -692,11 +902,11 @@ and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
       end
       else begin
         st.torn_boxes <- st.torn_boxes + 1;
-        (dirty, box_faults)
+        (dirty, pages, box_faults)
       end
     end
   in
-  let dirty, box_faults = extract 0 in
+  let dirty, pages, box_faults = extract 0 in
   (* Torn faults degrade to a [TORN] tag below, not a [BROKEN] one. *)
   let mem_faults = List.filter (function Target.Torn _ -> false | _ -> true) box_faults in
   (match mem_faults with
@@ -725,6 +935,17 @@ and build_box_raw st env ~bdef ~btype ~addr ~views ~bwhere =
           (fun (vn, items) ->
             (vn, items @ [ Vgraph.Text { label = "!torn"; value = reason; raw = Vgraph.Fstr reason } ]))
           b.Vgraph.views);
+  (match entry with
+  | None -> ()
+  | Some e ->
+      (match def with
+      | Some d ->
+          e.e_vhash <- Hashtbl.hash d;
+          e.e_def <- d
+      | None -> ());
+      e.e_pages <- pages;
+      e.e_faulty <- mem_faults <> [] || dirty <> [];
+      st.rebuilt <- b.Vgraph.id :: st.rebuilt);
   Vbox b.Vgraph.id
 
 and eval_bindings st env bindings =
@@ -787,16 +1008,26 @@ type result = {
   retried : int;  (** box re-extraction attempts performed *)
   repaired : int;  (** boxes whose retry produced a clean snapshot *)
   torn_boxes : int;  (** boxes degraded to [TORN] after the retry budget *)
+  cache : plot_cache;  (** pass back to {!run_exn} for an incremental re-plot *)
+  cache_hits : int;  (** boxes adopted from the previous run with zero reads *)
+  cache_misses : int;  (** (def, addr) keys never built before *)
+  cache_invalidated : int;  (** stale entries re-extracted in place *)
+  rebuilt : Vgraph.box_id list;  (** memoized boxes extracted this run, ascending *)
 }
 
-let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt program =
+let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) ?cache tgt program =
   Obs.with_span ~cat:"viewcl"
     ~attrs:[ ("stmts", string_of_int (List.length program)) ]
     "viewcl.run"
   @@ fun () ->
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  cache.pc_run <- cache.pc_run + 1;
+  Vgraph.clear_roots cache.pc_graph;
   let st =
-    { tgt; cfg; graph = Vgraph.create (); defs = Hashtbl.create 32; memo = Hashtbl.create 256;
-      limits; box_budget = max_boxes;
+    { tgt; cfg; graph = cache.pc_graph; defs = Hashtbl.create 32; cache;
+      reuse_ok = not (Kmem.injection_active (Target.mem tgt));
+      bad = Hashtbl.create 32; limits; box_budget = max_boxes;
+      hits = 0; misses = 0; invalidated = 0; rebuilt = [];
       torn_sections = 0; retries = 0; repaired = 0; torn_boxes = 0 }
   in
   List.iter (fun d -> Hashtbl.replace st.defs d.bname d) defs;
@@ -816,9 +1047,11 @@ let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) tgt 
     program;
   { graph = st.graph; plots = List.rev !plots;
     torn = st.torn_sections; retried = st.retries; repaired = st.repaired;
-    torn_boxes = st.torn_boxes }
+    torn_boxes = st.torn_boxes;
+    cache = st.cache; cache_hits = st.hits; cache_misses = st.misses;
+    cache_invalidated = st.invalidated; rebuilt = List.sort_uniq compare st.rebuilt }
 
 (* Surface target-layer failures (bad member paths, derefs, ...) as
    ViewCL errors. *)
-let run ?cfg ?defs ?limits tgt program =
-  try run_exn ?cfg ?defs ?limits tgt program with Invalid_argument m -> fail "%s" m
+let run ?cfg ?defs ?limits ?cache tgt program =
+  try run_exn ?cfg ?defs ?limits ?cache tgt program with Invalid_argument m -> fail "%s" m

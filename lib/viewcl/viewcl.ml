@@ -21,6 +21,8 @@ let default_config = Interp.default_config
 
 let parse = Parser.parse_program
 
+type cache = Interp.plot_cache
+
 type result = Interp.result = {
   graph : Vgraph.t;
   plots : Vgraph.box_id list;
@@ -28,17 +30,26 @@ type result = Interp.result = {
   retried : int;
   repaired : int;
   torn_boxes : int;
+  cache : cache;
+  cache_hits : int;
+  cache_misses : int;
+  cache_invalidated : int;
+  rebuilt : Vgraph.box_id list;
 }
+
+let create_cache = Interp.create_cache
+let cache_boxes = Interp.cache_boxes
+let cache_pages = Interp.cache_pages
 
 (** Evaluate [src] against [tgt]. [prelude] supplies predefined Box
     definitions (the "standard library" of common kernel structures). *)
-let run ?cfg ?limits ?(prelude = []) tgt src =
+let run ?cfg ?limits ?cache ?(prelude = []) tgt src =
   let defs =
     List.concat_map
       (fun p -> List.filter_map (function Ast.Define d -> Some d | _ -> None) p)
       prelude
   in
-  Interp.run ?cfg ?limits ~defs tgt (parse src)
+  Interp.run ?cfg ?limits ?cache ~defs tgt (parse src)
 
 (** Count non-blank, non-comment source lines (the paper's Table 2 LoC
     metric for ViewCL programs). *)

@@ -48,6 +48,13 @@ val default_config : config
 val parse : string -> Ast.program
 (** @raise Error on malformed input. *)
 
+type cache = Interp.plot_cache
+(** The cross-run box memo behind incremental re-plots: boxes keyed by
+    (definition name, address), each stamped with the (page, Kmem
+    generation) pairs its consistent section read.  Pass the cache of a
+    previous {!run} back in to re-extract only the boxes whose pages
+    were written since, adopting the rest of the graph as-is. *)
+
 type result = Interp.result = {
   graph : Vgraph.t;
   plots : Vgraph.box_id list;
@@ -55,16 +62,42 @@ type result = Interp.result = {
   retried : int;  (** box re-extraction attempts performed *)
   repaired : int;  (** boxes whose retry produced a clean snapshot *)
   torn_boxes : int;  (** boxes degraded to [TORN] after the retry budget *)
+  cache : cache;  (** pass back to {!run} for an incremental re-plot *)
+  cache_hits : int;  (** boxes adopted from the previous run with zero reads *)
+  cache_misses : int;  (** (definition, address) keys never built before *)
+  cache_invalidated : int;  (** stale entries re-extracted in place *)
+  rebuilt : Vgraph.box_id list;  (** memoized boxes extracted this run, ascending *)
 }
 
+val create_cache : unit -> cache
+(** A fresh, empty cache (equivalently: omit [?cache] on the first
+    {!run} and keep the one the result carries). *)
+
+val cache_boxes : cache -> Vgraph.box_id list
+(** Ids of all memoized boxes, ascending. *)
+
+val cache_pages : cache -> Vgraph.box_id -> (int * int) list
+(** The (page, generation-at-build) stamps recorded for a memoized box —
+    the exact invalidation footprint a Kmem write is tested against.
+    Empty for unknown ids. *)
+
 val run :
-  ?cfg:config -> ?limits:Interp.limits -> ?prelude:Ast.program list -> Target.t -> string -> result
+  ?cfg:config -> ?limits:Interp.limits -> ?cache:cache -> ?prelude:Ast.program list ->
+  Target.t -> string -> result
 (** Evaluate a program against a live target. [prelude] supplies
     predefined Box definitions. Box construction is memoized per
     (definition, address), so shared objects become shared boxes and
     cyclic structures terminate. Every box builds inside a consistent
     section (seqlock-style) and is retried up to [limits.max_retries]
     times when a writer races it, then degrades to a [TORN] box.
+
+    With [?cache] (from a previous run of the same program), the run is
+    an {e incremental re-plot}: a box whose subtree's page stamps all
+    match live memory is adopted with zero target reads ([cache_hits]);
+    a box whose pages moved — or that degraded last time — is
+    re-extracted in place under its existing id ([cache_invalidated]).
+    Cross-run reuse disables itself while Kmem fault injection is armed,
+    keeping injected runs byte-for-byte reproducible.
     @raise Error on failure. *)
 
 val loc_of : string -> int

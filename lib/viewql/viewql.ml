@@ -311,17 +311,27 @@ let get_set s name =
   | Some ids -> ids
   | None -> fail "ViewQL: unknown set %S" name
 
+(* Set operators test membership through a hashtable of the right-hand
+   side (and, for UNION, of the left), not [List.mem] — interactive sets
+   over big plots made the old quadratic versions the dominant exec
+   cost. *)
+let id_set ids =
+  let h = Hashtbl.create (List.length ids * 2) in
+  List.iter (fun id -> Hashtbl.replace h id ()) ids;
+  h
+
 let rec eval_set s = function
   | Named n -> get_set s n
   | Diff (a, b) ->
-      let bs = eval_set s b in
-      List.filter (fun id -> not (List.mem id bs)) (eval_set s a)
+      let bs = id_set (eval_set s b) in
+      List.filter (fun id -> not (Hashtbl.mem bs id)) (eval_set s a)
   | Inter (a, b) ->
-      let bs = eval_set s b in
-      List.filter (fun id -> List.mem id bs) (eval_set s a)
+      let bs = id_set (eval_set s b) in
+      List.filter (fun id -> Hashtbl.mem bs id) (eval_set s a)
   | Union (a, b) ->
-      let bs = eval_set s b in
-      eval_set s a @ List.filter (fun id -> not (List.mem id (eval_set s a))) bs
+      let as_ = eval_set s a in
+      let seen = id_set as_ in
+      as_ @ List.filter (fun id -> not (Hashtbl.mem seen id)) (eval_set s b)
 
 let fval_matches op (fv : Vgraph.fval) (v : value) =
   let cmp_int a b =
@@ -394,19 +404,24 @@ let inside g seeds =
   Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
 
 let select_boxes s { sel_type; sel_field; src; alias; where; _ } =
-  let candidates =
-    match src with
-    | All -> List.map (fun b -> b.Vgraph.id) (Vgraph.boxes s.graph)
-    | From_set se -> eval_set s se
-    | Reachable se -> Vgraph.reachable s.graph (eval_set s se)
-    | Is_inside se -> inside s.graph (eval_set s se)
-  in
   let of_type =
-    List.filter
-      (fun id ->
-        let b = Vgraph.get s.graph id in
-        sel_type = "*" || b.Vgraph.btype = sel_type || b.Vgraph.bdef = sel_type)
-      candidates
+    match src with
+    (* [FROM *] answers straight from the graph's name index instead of
+       scanning every box: one bucket probe, ids already ascending. *)
+    | All when sel_type <> "*" -> Vgraph.ids_of_type s.graph sel_type
+    | All -> List.map (fun b -> b.Vgraph.id) (Vgraph.boxes s.graph)
+    | From_set se | Reachable se | Is_inside se ->
+        let candidates =
+          match src with
+          | From_set _ -> eval_set s se
+          | Reachable _ -> Vgraph.reachable s.graph (eval_set s se)
+          | _ -> inside s.graph (eval_set s se)
+        in
+        List.filter
+          (fun id ->
+            let b = Vgraph.get s.graph id in
+            sel_type = "*" || b.Vgraph.btype = sel_type || b.Vgraph.bdef = sel_type)
+          candidates
   in
   let projected =
     match sel_field with

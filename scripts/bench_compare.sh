@@ -1,39 +1,71 @@
 #!/bin/sh
-# Performance-regression guard (ISSUE 4): compare the freshly written
-# BENCH_smoke.json bench.plot_ms wall-clock sum against the committed
-# baseline (git show HEAD:BENCH_smoke.json).  Fails when the new sum
-# exceeds the baseline by more than the relative budget, with an
-# absolute slack floor so sub-100ms timer noise cannot trip the gate
-# on a fast machine.  Skips (exit 0) when there is no committed
-# baseline to compare against.
+# Performance-regression guard (ISSUE 4, extended by ISSUE 5): compare
+# the freshly written BENCH_smoke.json against the committed baseline
+# (git show HEAD:BENCH_smoke.json).
+#
+#   - bench.plot_ms sum        wall-clock for the whole smoke workload
+#   - phase.fetch_ms p95       per-plot target-read tail
+#   - phase.interp_ms p95      per-plot interpretation tail
+#
+# Each gate fails when the new value exceeds the baseline by more than
+# the relative budget, with an absolute slack floor so sub-100ms timer
+# noise cannot trip it on a fast machine (the gates are upper bounds
+# only: getting faster always passes).  The read-cache counters from
+# the ISSUE 5 fast path must also be present in the fresh artifact, so
+# the caching layer cannot be silently compiled out.  Skips (exit 0)
+# when there is no committed baseline to compare against.
 set -eu
 
 BUDGET_PCT="${BENCH_COMPARE_BUDGET_PCT:-25}"
 SLACK_MS="${BENCH_COMPARE_SLACK_MS:-100}"
 FILE="${1:-BENCH_smoke.json}"
 
-sum_of() {
-    grep -o '"bench.plot_ms":{[^}]*}' | sed -n 's/.*"sum":\([0-9.eE+-]*\).*/\1/p'
+# histo_field NAME FIELD < json: one numeric field of one histogram
+histo_field() {
+    grep -o "\"$1\":{[^}]*}" | sed -n "s/.*\"$2\":\([0-9.eE+-]*\).*/\1/p"
 }
 
 [ -f "$FILE" ] || { echo "bench-compare: $FILE missing (run make bench-smoke first)"; exit 1; }
 
-base=$(git show HEAD:"$FILE" 2>/dev/null | sum_of)
-cur=$(sum_of < "$FILE")
+baseline=$(git show HEAD:"$FILE" 2>/dev/null || true)
 
-if [ -z "$base" ]; then
+if [ -z "$baseline" ]; then
     echo "bench-compare: no committed baseline for $FILE - skipping"
     exit 0
 fi
-if [ -z "$cur" ]; then
-    echo "bench-compare: $FILE has no bench.plot_ms histogram"
-    exit 1
-fi
 
-awk -v base="$base" -v cur="$cur" -v pct="$BUDGET_PCT" -v slack="$SLACK_MS" 'BEGIN {
-    budget = base * (1 + pct / 100);
-    if (budget < base + slack) budget = base + slack;
-    printf "bench-compare: bench.plot_ms sum %.2f ms vs baseline %.2f ms (budget %.2f ms)\n",
-        cur, base, budget;
-    exit (cur > budget) ? 1 : 0;
-}'
+# the ISSUE 5 cache counters must exist in the fresh artifact
+for c in cache.hits cache.misses cache.coalesced_reads cache.box_hits; do
+    grep -q "\"$c\":" "$FILE" \
+        || { echo "bench-compare: counter $c missing from $FILE (cache layer vacuous)"; exit 1; }
+done
+
+fail=0
+
+# gate NAME FIELD LABEL: upper-bound compare of one histogram field
+gate() {
+    base=$(printf '%s' "$baseline" | histo_field "$1" "$2")
+    cur=$(histo_field "$1" "$2" < "$FILE")
+    if [ -z "$base" ]; then
+        echo "bench-compare: baseline has no $1 - skipping that gate"
+        return 0
+    fi
+    if [ -z "$cur" ]; then
+        echo "bench-compare: $FILE has no $1 histogram"
+        fail=1
+        return 0
+    fi
+    awk -v base="$base" -v cur="$cur" -v pct="$BUDGET_PCT" -v slack="$SLACK_MS" -v label="$3" 'BEGIN {
+        budget = base * (1 + pct / 100);
+        if (budget < base + slack) budget = base + slack;
+        printf "bench-compare: %-22s %10.2f ms vs baseline %10.2f ms (budget %10.2f ms)\n",
+            label, cur, base, budget;
+        exit (cur > budget) ? 1 : 0;
+    }' || fail=1
+}
+
+gate "bench.plot_ms" "sum" "bench.plot_ms sum"
+gate "phase.fetch_ms" "p95" "phase.fetch_ms p95"
+gate "phase.interp_ms" "p95" "phase.interp_ms p95"
+
+exit "$fail"

@@ -15,6 +15,7 @@ let () =
       ("viewql", Test_viewql.suite);
       ("transport", Test_transport.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
       ("sanity", Test_sanity.suite);
       ("render+panel", Test_render_panel.suite);
       ("vchat", Test_vchat.suite);

@@ -173,11 +173,15 @@ let test_deadline_budget () =
   let tr = Transport.create Transport.kgdb_rpi400 in
   Target.set_transport s.Visualinux.target tr;
   let _, _, full = Visualinux.plot_figure s sc in
-  (* a fresh session under a tight budget degrades but completes *)
+  (* a fresh session under a tight budget degrades but completes; the
+     read cache stays off so every field read is its own round-trip —
+     the budget must bite mid-extraction, not be amortized away by
+     struct-granular coalescing *)
   let _, s2 = session () in
   let tr2 = Transport.create Transport.kgdb_rpi400 in
   Transport.set_deadline tr2 (Some 40.);
   Target.set_transport s2.Visualinux.target tr2;
+  Target.set_read_cache s2.Visualinux.target false;
   let _, res2, tight = Visualinux.plot_figure s2 sc in
   Alcotest.(check bool) "budget run yields fewer boxes" true
     (tight.Visualinux.boxes < full.Visualinux.boxes);
