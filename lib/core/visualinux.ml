@@ -229,16 +229,28 @@ let replay s programs =
     only boxes whose pages were written since the cached plot are
     re-extracted, and the updated cache is published through
     [on_cache]. *)
-let extract_for ?cache ?(on_cache = fun _ -> ()) s program =
+let extract_for ?cache ?(on_cache = fun _ -> ()) ?(on_fail = fun () -> ()) s program =
   match Target.transport s.target with
   | Some tr when Transport.link tr = Transport.Down -> None
   | tr_opt -> (
       Option.iter Transport.begin_plot tr_opt;
-      try
-        let res = Viewcl.run ~cfg:s.cfg ?cache s.target program in
-        on_cache res.Viewcl.cache;
-        Some res.Viewcl.graph
-      with _ -> None)
+      match Viewcl.run ~cfg:s.cfg ?cache s.target program with
+      | res ->
+          on_cache res.Viewcl.cache;
+          Some res.Viewcl.graph
+      | exception Viewcl.Error _ ->
+          (* Expected extraction failure (bad program against this
+             state, budget, eval error).  The failed run may have left
+             [cache]'s graph mid-mutation, so the caller must stop
+             reusing it — that is what [on_fail] is for. *)
+          on_fail ();
+          None
+      | exception e ->
+          (* Unexpected failures surface to the caller rather than
+             masquerading as "pane is stale"; the cache is equally
+             unusable. *)
+          on_fail ();
+          raise e)
 
 (** Rebuild the whole pane layout from the session journal (or an
     explicitly supplied one, e.g. loaded from disk).  Reconnects a dead
@@ -267,7 +279,9 @@ let refresh_stale s =
         ~extract:
           (extract_for
              ?cache:(Hashtbl.find_opt s.caches id)
-             ~on_cache:(Hashtbl.replace s.caches id) s))
+             ~on_cache:(Hashtbl.replace s.caches id)
+             ~on_fail:(fun () -> Hashtbl.remove s.caches id)
+             s))
     (Panel.stale_ids s.panel)
 
 (** vrefresh: incrementally re-plot a primary pane in place.  The pane's
@@ -291,19 +305,35 @@ let vrefresh s ~pane =
           let spans0 = Obs.spans_total () in
           let rel0 = Obs.since_epoch_ms () in
           let t0 = Obs.Clock.now_ms () in
+          (* A failed run can leave the cache's shared graph mid-mutation
+             (reset boxes, partial views — run_exn restores the roots but
+             not box contents): drop the cache so the next refresh of
+             this pane re-extracts cold into a fresh graph, and flag the
+             pane stale so its render says the plot predates the failure.
+             Only the expected Viewcl failure maps to None; anything else
+             surfaces. *)
+          let drop_cache () =
+            Hashtbl.remove s.caches pane;
+            Option.iter (fun p -> p.Panel.stale <- true) (Panel.pane_opt s.panel pane)
+          in
           match
             Obs.with_span ~cat:"core" "core.vrefresh" (fun () ->
-                try
-                  let res =
-                    Viewcl.run ~cfg:s.cfg
-                      ?cache:(Hashtbl.find_opt s.caches pane)
-                      s.target program
-                  in
-                  Hashtbl.replace s.caches pane res.Viewcl.cache;
-                  if Panel.refresh s.panel ~at:pane ~extract:(fun _ -> Some res.Viewcl.graph)
-                  then Some res
-                  else None
-                with _ -> None)
+                match
+                  Viewcl.run ~cfg:s.cfg
+                    ?cache:(Hashtbl.find_opt s.caches pane)
+                    s.target program
+                with
+                | res ->
+                    Hashtbl.replace s.caches pane res.Viewcl.cache;
+                    if Panel.refresh s.panel ~at:pane ~extract:(fun _ -> Some res.Viewcl.graph)
+                    then Some res
+                    else None
+                | exception Viewcl.Error _ ->
+                    drop_cache ();
+                    None
+                | exception e ->
+                    drop_cache ();
+                    raise e)
           with
           | None -> None
           | Some res ->

@@ -89,8 +89,12 @@ let roots g = g.roots
 (* Incremental re-plot runs the program again over the SAME graph: the
    old roots are dropped and the re-run appends the new ones.  Boxes
    stay (reused ones keep their ids); anything the new roots no longer
-   reach is simply unreachable. *)
+   reach is swept by the interpreter at the end of the run. *)
 let clear_roots g = g.roots <- []
+
+(* Restore a saved root list wholesale — the rollback path of a re-plot
+   whose run raised after clear_roots. *)
+let set_roots g ids = g.roots <- ids
 
 (* Strip everything a box build produces — views, members, recorded
    fields, broken/torn/suspect verdicts — so the box can be re-extracted
@@ -211,6 +215,44 @@ let child_ids b =
     List.fold_left (fun acc (_, items) -> List.fold_left of_item acc items) [] b.views
   in
   List.rev_append from_views b.members
+
+(** Drop every box unreachable from the roots and the [keep] seeds over
+    {!child_ids}, keeping the [by_name] index coherent.  Returns the
+    removed ids, ascending.  The incremental re-plot calls this after
+    each run so boxes that fell out of the structure do not accumulate
+    (and skew {!box_count}/{!total_bytes}) across refreshes. *)
+let sweep g ~keep =
+  let live = Hashtbl.create 64 in
+  let rec mark id =
+    if not (Hashtbl.mem live id) then
+      match find g id with
+      | Some b ->
+          Hashtbl.add live id ();
+          List.iter mark (child_ids b)
+      | None -> ()
+  in
+  List.iter mark g.roots;
+  List.iter mark keep;
+  let dead =
+    Hashtbl.fold
+      (fun id b acc -> if Hashtbl.mem live id then acc else (id, b) :: acc)
+      g.boxes []
+  in
+  let unindex id name =
+    if name <> "" then
+      match Hashtbl.find_opt g.by_name name with
+      | Some l ->
+          l := List.filter (fun i -> i <> id) !l;
+          if !l = [] then Hashtbl.remove g.by_name name
+      | None -> ()
+  in
+  List.iter
+    (fun (id, b) ->
+      unindex id b.btype;
+      if b.bdef <> b.btype then unindex id b.bdef;
+      Hashtbl.remove g.boxes id)
+    dead;
+  List.sort compare (List.map fst dead)
 
 (** Rebuild the graph with ids renumbered 1..n in deterministic
     preorder from the roots (over {!child_ids}), dropping unreachable

@@ -821,8 +821,17 @@ and build_box_raw ?def st env ~bdef ~btype ~addr ~views ~bwhere =
         match Hashtbl.find_opt st.cache.pc_entries (bdef, addr) with
         | Some e -> (
             match Vgraph.find st.graph e.e_box with
-            | Some b -> Some (b, e)
-            | None -> None)
+            | Some b when b.Vgraph.btype = btype && b.Vgraph.size = size -> Some (b, e)
+            | Some _ | None ->
+                (* The definition changed its C type since the entry was
+                   built: btype/size are frozen at add_box and indexed
+                   by name, so in-place reuse would leave the box (and
+                   the by_name index) lying about its type.  Drop the
+                   entry and allocate a fresh box below; the orphaned
+                   box is unreachable and swept at end of run. *)
+                Hashtbl.remove st.cache.pc_entries (bdef, addr);
+                Hashtbl.remove st.cache.pc_by_box e.e_box;
+                None)
         | None -> None
     in
     match reuse with
@@ -842,7 +851,16 @@ and build_box_raw ?def st env ~bdef ~btype ~addr ~views ~bwhere =
             (b, Some e)
         | _ -> (b, None))
   in
-  (match entry with Some e -> e.e_run <- st.cache.pc_run | None -> ());
+  (match entry with
+  | Some e ->
+      e.e_run <- st.cache.pc_run;
+      (* Poisoned until the extraction below completes: if the run
+         raises out of build_box_raw (box budget, eval error), the
+         half-built box must never pass {!subtree_valid} on its stale
+         page stamps and be adopted by a later refresh as a faithful
+         snapshot.  A clean extract restores validity at the end. *)
+      e.e_faulty <- true
+  | None -> ());
   (* Graceful degradation: collect the memory faults hit while building
      THIS box (nested boxes keep theirs — with_faults nests).  A faulting
      box stays in the plot, visibly broken, instead of aborting the
@@ -1022,6 +1040,7 @@ let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) ?cac
   @@ fun () ->
   let cache = match cache with Some c -> c | None -> create_cache () in
   cache.pc_run <- cache.pc_run + 1;
+  let saved_roots = Vgraph.roots cache.pc_graph in
   Vgraph.clear_roots cache.pc_graph;
   let st =
     { tgt; cfg; graph = cache.pc_graph; defs = Hashtbl.create 32; cache;
@@ -1033,18 +1052,51 @@ let run_exn ?(cfg = default_config) ?(defs = []) ?(limits = default_limits) ?cac
   List.iter (fun d -> Hashtbl.replace st.defs d.bname d) defs;
   let env = ref [] in
   let plots = ref [] in
-  List.iter
-    (function
-      | Define d -> Hashtbl.replace st.defs d.bname d
-      | Top_bind (n, e) -> env := (n, eval st !env e) :: !env
-      | Plot e -> (
-          match eval st !env e with
-          | Vbox id ->
-              Vgraph.set_root st.graph id;
-              plots := id :: !plots
-          | Vnull -> ()
-          | v -> fail "plot expects a box, got %s" (value_kind v)))
-    program;
+  (try
+     List.iter
+       (function
+         | Define d -> Hashtbl.replace st.defs d.bname d
+         | Top_bind (n, e) -> env := (n, eval st !env e) :: !env
+         | Plot e -> (
+             match eval st !env e with
+             | Vbox id ->
+                 Vgraph.set_root st.graph id;
+                 plots := id :: !plots
+             | Vnull -> ()
+             | v -> fail "plot expects a box, got %s" (value_kind v)))
+       program
+   with e ->
+     (* Roll the shared graph back to a displayable state: the previous
+        plot's roots come back, so the pane is not left rootless.  Any
+        box the failed run was mid-rebuilding is already poisoned
+        ([e_faulty], set before its build), so no later refresh can
+        adopt its reset contents as a valid snapshot — it re-extracts.
+        Callers holding this cache should drop it (vrefresh does), so
+        the next plot of the pane starts cold. *)
+     Vgraph.set_roots cache.pc_graph saved_roots;
+     raise e);
+  (* Sweep: a box this run neither plotted nor evaluated — unreachable
+     from the new roots and not stamped with the current run — is dead
+     weight from earlier runs.  Dropping dead boxes (and their memo
+     entries) bounds the persistent graph and the cache by the live
+     plot, instead of accumulating every box ever extracted. *)
+  let keep =
+    Hashtbl.fold
+      (fun id e acc -> if e.e_run = cache.pc_run then id :: acc else acc)
+      cache.pc_by_box []
+  in
+  (match Vgraph.sweep st.graph ~keep with
+  | [] -> ()
+  | removed ->
+      let dead = Hashtbl.create 16 in
+      List.iter (fun id -> Hashtbl.replace dead id ()) removed;
+      List.iter (Hashtbl.remove cache.pc_by_box) removed;
+      let stale_keys =
+        Hashtbl.fold
+          (fun k e acc -> if Hashtbl.mem dead e.e_box then k :: acc else acc)
+          cache.pc_entries []
+      in
+      List.iter (Hashtbl.remove cache.pc_entries) stale_keys);
   { graph = st.graph; plots = List.rev !plots;
     torn = st.torn_sections; retried = st.retries; repaired = st.repaired;
     torn_boxes = st.torn_boxes;

@@ -207,6 +207,90 @@ let exact_invalidation =
       | Some (res, _) -> res.Viewcl.rebuilt = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Failure rollback: a run that raises must not corrupt the pane *)
+
+(* The high-severity review scenario: a re-plot over a live cache
+   raises partway (here: an unknown definition evaluated after the real
+   plots, standing in for a box-budget blowout or eval error).  The
+   shared graph must keep its pre-failure roots, no half-rebuilt box
+   may later be adopted as a valid snapshot, and the next warm refresh
+   must still render identically to a cold plot. *)
+let test_failed_run_rolls_back () =
+  let k, w, s = session () in
+  let src = source "3-4" in
+  let pane, res0, _ = Visualinux.vplot s src in
+  let roots0 = Vgraph.roots res0.Viewcl.graph in
+  (* dirty pages so the failing re-run rebuilds boxes in place first *)
+  let chaos = Workload.Chaos.create ~seed:42 w ~rate:1.0 in
+  for _ = 1 to 10 do
+    Workload.Chaos.mutate chaos
+  done;
+  let bad = src ^ "\nplot NoSuchDef(${0})\n" in
+  (match Viewcl.run ~cfg:s.Visualinux.cfg ~cache:res0.Viewcl.cache s.Visualinux.target bad with
+  | _ -> Alcotest.fail "expected the bad program to fail"
+  | exception Viewcl.Error _ -> ());
+  Alcotest.(check (list int)) "pre-failure roots restored" roots0
+    (Vgraph.roots res0.Viewcl.graph);
+  match Visualinux.vrefresh s ~pane:pane.Panel.pid with
+  | None -> Alcotest.fail "vrefresh after a failed run"
+  | Some (res, _) ->
+      Alcotest.(check string) "warm refresh after a failed run == cold plot"
+        (canonical (cold_plot k src))
+        (canonical res.Viewcl.graph)
+
+(* A redefined Box changing its C type must not reuse the old box in
+   place: btype/size are frozen at allocation and feed renders,
+   total_bytes and the typed-SELECT index. *)
+let test_redefined_btype_reallocates () =
+  let _, _, s = session () in
+  let tgt = s.Visualinux.target in
+  let cfg = s.Visualinux.cfg in
+  let r1 = Viewcl.run ~cfg tgt "define D as Box<task_struct> [ Text pid ]\nplot D(${&init_task})" in
+  let id1 = List.hd r1.Viewcl.plots in
+  Alcotest.(check string) "first build typed task_struct" "task_struct"
+    (Vgraph.get r1.Viewcl.graph id1).Vgraph.btype;
+  let r2 =
+    Viewcl.run ~cfg ~cache:r1.Viewcl.cache tgt
+      "define D as Box<list_head> [ Text<raw_ptr> next ]\nplot D(${&init_task})"
+  in
+  let id2 = List.hd r2.Viewcl.plots in
+  Alcotest.(check bool) "fresh box allocated for the new type" true (id2 <> id1);
+  let b2 = Vgraph.get r2.Viewcl.graph id2 in
+  Alcotest.(check string) "box carries the new C type" "list_head" b2.Vgraph.btype;
+  Alcotest.(check int) "box carries the new size"
+    (Ctype.sizeof (Target.types tgt) (Ctype.Named "list_head"))
+    b2.Vgraph.size;
+  Alcotest.(check bool) "stale box swept from the graph" true
+    (Vgraph.find r2.Viewcl.graph id1 = None);
+  Alcotest.(check (list int)) "type index reflects the redefinition" []
+    (Vgraph.ids_of_type r2.Viewcl.graph "task_struct");
+  Alcotest.(check (list int)) "definition index points at the new box" [ id2 ]
+    (Vgraph.ids_of_type r2.Viewcl.graph "D")
+
+(* The persistent graph must not accumulate boxes that churn pushed out
+   of the structure: after refreshes under heavy mutation it stays
+   bounded by what a cold plot of the same state builds. *)
+let test_graph_bounded_across_refreshes () =
+  let k, w, s = session () in
+  let src = source "9-2" in
+  let pane, _, _ = Visualinux.vplot s src in
+  let chaos = Workload.Chaos.create ~seed:7 w ~rate:1.0 in
+  let final = ref 0 in
+  for _ = 1 to 6 do
+    for _ = 1 to 5 do
+      Workload.Chaos.mutate chaos
+    done;
+    match Visualinux.vrefresh s ~pane:pane.Panel.pid with
+    | None -> Alcotest.fail "vrefresh failed"
+    | Some (res, stats) ->
+        final := Vgraph.box_count res.Viewcl.graph;
+        Alcotest.(check int) "plot_stats counts the swept graph" !final
+          stats.Visualinux.boxes
+  done;
+  Alcotest.(check bool) "persistent graph bounded by a cold plot" true
+    (!final <= Vgraph.box_count (cold_plot k src))
+
+(* ------------------------------------------------------------------ *)
 (* ViewQL over the refreshed (persistent) graph *)
 
 let test_viewql_index_after_refresh () =
@@ -239,4 +323,8 @@ let suite =
     QCheck_alcotest.to_alcotest warm_equals_cold;
     QCheck_alcotest.to_alcotest warm_equals_cold_under_injection;
     QCheck_alcotest.to_alcotest exact_invalidation;
+    Alcotest.test_case "failed run rolls back" `Quick test_failed_run_rolls_back;
+    Alcotest.test_case "redefined btype reallocates" `Quick test_redefined_btype_reallocates;
+    Alcotest.test_case "graph bounded across refreshes" `Quick
+      test_graph_bounded_across_refreshes;
     Alcotest.test_case "viewql index survives refresh" `Quick test_viewql_index_after_refresh ]
