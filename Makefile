@@ -6,7 +6,7 @@
 # rates), lints formatting, and does one full bench iteration so that a
 # broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench bench-smoke chaos-smoke perf-smoke obs-smoke bench-compare fmt-check ci check clean
+.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke obs-smoke bench-compare fmt-check ci check clean
 
 all:
 	dune build @all
@@ -51,8 +51,24 @@ perf-smoke: all
 	dune exec bench/main.exe -- --repeat-plot 5 --seed 7
 	@echo "perf-smoke: ok"
 
+# Session smoke (ISSUE 6): the multi-session isolation bench.  The
+# bench asserts the gates in-process: one session storming at the
+# given fault rate (plus one forced breaker-Open round) leaves the
+# healthy sessions' p95 within 25% of an identically-seeded all-healthy
+# twin fleet, their renders byte-identical to cache-off solo
+# extractions, every refusal a typed Rejected (capacity included), the
+# cold-plot read cache actually shared across sessions, and a killed
+# fleet replayed from its journal snapshot with pane/box ids
+# reproduced.  Writes BENCH_sessions.json, which bench-compare then
+# gates on.
+session-smoke: all
+	dune exec bench/main.exe -- --sessions 4 --fault-rate 0.2 --seed 7
+	@echo "session-smoke: ok"
+
 # Wall-clock regression guard: fresh BENCH_smoke.json vs. the committed
-# baseline (25% relative budget with an absolute slack floor).
+# baseline (25% relative budget with an absolute slack floor).  Also
+# checks the BENCH_sessions.json artifact from session-smoke for
+# per-session p95 histograms and the cross-session hit-rate gauge.
 bench-compare:
 	sh scripts/bench_compare.sh
 
@@ -69,7 +85,7 @@ fmt-check:
 		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
 	else echo "fmt-check: clean"; fi
 
-ci: all test bench-smoke bench-compare chaos-smoke perf-smoke obs-smoke fmt-check
+ci: all test bench-smoke session-smoke bench-compare chaos-smoke perf-smoke obs-smoke fmt-check
 
 check: ci bench
 

@@ -182,7 +182,9 @@ let chat_cmd =
 (* repl *)
 
 let repl_help =
-  {|v-commands:
+  {|v-commands (all run through the multi-session server: each session has
+its own fault config, budget, counters and pane layout, multiplexed over
+the shared target link — a refusal prints a typed reason, never a crash):
   vplot <fig>            plot a library figure into a new pane
   vplot auto <type> <C-expr>
                          synthesize a trivial ViewCL program for a struct
@@ -194,11 +196,22 @@ let repl_help =
   vchat <pane> <text>    natural language -> ViewQL -> apply
   show <pane> [ascii|dot|svg|json]
   panes                  list panes ([STALE] = awaiting re-extraction)
+  session new <name> [rate]       open a session (optional fault rate)
+  session list           sessions, current marked with *
+  session use <id>       switch the prompt to another session
+  session close <id>     close a session (not the last one)
+  session budget reads <n|off>    per-epoch read budget, this session
+  session budget ms <n|off>       per-epoch wire-time budget (sim ms)
+  session epoch          open a fresh budget/cache-stat epoch
+  server status          targets, breaker/quarantine state, sessions
+  server save <file>     snapshot every session's journal (the fleet)
+  server recover <file>  replay a fleet snapshot into this server
   link                   show transport health
   link down | up         force-disconnect / reconnect the target link
-  link rate <r>          fault rates: stalls+drops at r, disconnects r/20
-  link deadline <ms|off> per-plot deadline budget (simulated ms)
-  recover                rebuild the pane layout from the session journal
+  link rate <r>          THIS session's fault rates: stalls+drops at r,
+                         disconnects r/20 (other sessions are untouched)
+  link deadline <ms|off> per-plot deadline budget, this session (sim ms)
+  recover                replay this session's journal (pane ids return)
   refresh                re-extract stale panes against the live link
   vrefresh <pane>        re-plot a pane through its cache: unchanged
                          boxes are adopted, written-to boxes rebuilt
@@ -214,14 +227,34 @@ let repl_help =
 let repl_cmd =
   let doc = "Interactive session (a poor man's GDB prompt with v-commands)." in
   let run seed iters =
-    let s = boot_session seed iters in
+    let kernel = Kstate.boot () in
+    let w = Workload.create ~seed kernel in
+    Workload.run ~iters w;
+    (* One multi-session server over the booted kernel: every repl
+       session shares the "wire" target (link, breaker, read cache) but
+       keeps its own fault config, budget, counters and pane layout. *)
+    let srv = Session.create kernel in
+    Session.add_target srv ~transport:(Transport.create Transport.qemu_local) "wire";
+    let cur =
+      ref
+        (match Session.open_session ~target:"wire" srv "main" with
+        | Session.Admitted sid -> sid
+        | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
+    in
     Printf.printf "visualinux interactive session — %d tasks live. Type 'help'.\n"
-      (List.length (Kstate.all_tasks s.Visualinux.kernel));
+      (List.length (Kstate.all_tasks kernel));
     (* Typed command boundary: every branch yields (unit, string) result,
        so a bad pane id / malformed number / refine on a closed pane is a
-       printed error, never an exception unwinding the session. *)
+       printed error, never an exception unwinding the session.  Server
+       refusals (capacity, budget, quarantine) surface the same way. *)
     let ( let* ) = Result.bind in
-    let pane_of str =
+    let admit = function
+      | Session.Admitted x -> Ok x
+      | Session.Rejected { reason } -> Error (Session.reason_to_string reason)
+    in
+    let exec words : (unit, string) result =
+      let s = Option.get (Session.vis srv !cur) in
+      let pane_of str =
       match int_of_string_opt str with
       | None -> Error (Printf.sprintf "%S is not a pane id" str)
       | Some id -> (
@@ -249,7 +282,6 @@ let repl_cmd =
       | Some tr -> f tr
       | None -> Error "no transport attached"
     in
-    let exec words : (unit, string) result =
       match words with
       | [] -> Ok ()
       | [ "help" ] ->
@@ -280,7 +312,9 @@ let repl_cmd =
           Ok ()
       | [ "vplot"; fig ] ->
           let* sc = script_of fig in
-          let pane, _, stats = Visualinux.plot_figure s sc in
+          let* pane, _, stats =
+            admit (Session.vplot srv !cur ~title:sc.Scripts.fig sc.Scripts.source)
+          in
           (match Visualinux.render_pane s pane.Panel.pid with
           | Some out -> print_string out
           | None -> ());
@@ -288,11 +322,18 @@ let repl_cmd =
             stats.Visualinux.boxes stats.Visualinux.reads stats.Visualinux.spans
             stats.Visualinux.wall_ms;
           Ok ()
-      | "vctrl" :: "ql" :: pane :: rest ->
+      | "vctrl" :: "ql" :: pane :: rest -> (
           let* p = pane_of pane in
-          let n = Panel.refine s.Visualinux.panel ~at:p.Panel.pid (String.concat " " rest) in
-          Printf.printf "%d boxes updated\n" n;
-          Ok ()
+          let* r =
+            admit
+              (Session.vctrl srv !cur
+                 (Visualinux.Apply { pane = p.Panel.pid; viewql = String.concat " " rest }))
+          in
+          match r with
+          | Visualinux.Updated n ->
+              Printf.printf "%d boxes updated\n" n;
+              Ok ()
+          | _ -> Error "unexpected vctrl result")
       | [ "vctrl"; "split"; pane; d; fig ] -> (
           let* p = pane_of pane in
           let* dir =
@@ -302,10 +343,12 @@ let repl_cmd =
             | _ -> Error (Printf.sprintf "%S is not h or v" d)
           in
           let* sc = script_of fig in
-          match
-            Visualinux.vctrl s
-              (Visualinux.Split { pane = p.Panel.pid; dir; program = sc.Scripts.source })
-          with
+          let* r =
+            admit
+              (Session.vctrl srv !cur
+                 (Visualinux.Split { pane = p.Panel.pid; dir; program = sc.Scripts.source }))
+          in
+          match r with
           | Visualinux.Opened id ->
               Printf.printf "pane %d opened\n" id;
               Ok ()
@@ -320,10 +363,12 @@ let repl_cmd =
                 Ok (id :: acc))
               (Ok []) boxes
           in
-          match
-            Visualinux.vctrl s
-              (Visualinux.Select { pane = p.Panel.pid; boxes = List.rev ids })
-          with
+          let* r =
+            admit
+              (Session.vctrl srv !cur
+                 (Visualinux.Select { pane = p.Panel.pid; boxes = List.rev ids }))
+          in
+          match r with
           | Visualinux.Opened id ->
               Printf.printf "pane %d opened\n" id;
               Ok ()
@@ -336,7 +381,7 @@ let repl_cmd =
           Ok ()
       | [ "vctrl"; "close"; pane ] ->
           let* p = pane_of pane in
-          Panel.close s.Visualinux.panel p.Panel.pid;
+          let* _ = admit (Session.vctrl srv !cur (Visualinux.Close { pane = p.Panel.pid })) in
           print_endline "closed";
           Ok ()
       | "vchat" :: pane :: rest ->
@@ -379,32 +424,35 @@ let repl_cmd =
               print_endline (Render.transport_line tr);
               Ok ())
       | [ "link"; "rate"; r ] ->
-          with_link (fun tr ->
-              let* rate = float_of r "a fault rate" in
-              Transport.set_faults tr (Transport.faults_of_rate rate);
-              Ok ())
+          (* per-session: only this session's traffic runs under the
+             faults; the link itself (and everyone else) is untouched *)
+          let* rate = float_of r "a fault rate" in
+          Session.set_faults srv !cur (Transport.faults_of_rate rate);
+          Printf.printf "session %d traffic now at fault rate %.3f\n" !cur rate;
+          Ok ()
       | [ "link"; "deadline"; "off" ] ->
-          with_link (fun tr ->
-              Transport.set_deadline tr None;
-              Ok ())
+          let b = Option.value (Session.budget_of srv !cur) ~default:Session.unlimited in
+          Session.set_budget srv !cur { b with Session.plot_deadline_ms = None };
+          Ok ()
       | [ "link"; "deadline"; ms ] ->
-          with_link (fun tr ->
-              let* d = float_of ms "a deadline in ms" in
-              Transport.set_deadline tr (Some d);
-              Ok ())
+          let* d = float_of ms "a deadline in ms" in
+          let b = Option.value (Session.budget_of srv !cur) ~default:Session.unlimited in
+          Session.set_budget srv !cur { b with Session.plot_deadline_ms = Some d };
+          Ok ()
       | [ "recover" ] ->
-          let stale = Visualinux.recover s in
+          let* stale = admit (Session.recover_session srv !cur) in
           Printf.printf "recovered %d panes (%d stale)\n"
             (List.length (Panel.pane_ids s.Visualinux.panel))
             stale;
           Ok ()
       | [ "refresh" ] ->
-          let ids = Visualinux.refresh_stale s in
+          let* ids = admit (Session.refresh_stale srv !cur) in
           Printf.printf "refreshed %d panes\n" (List.length ids);
           Ok ()
       | [ "vrefresh"; pane ] -> (
           let* p = pane_of pane in
-          match Visualinux.vrefresh s ~pane:p.Panel.pid with
+          let* r = admit (Session.vrefresh srv !cur ~pane:p.Panel.pid) in
+          match r with
           | None -> Error (Printf.sprintf "pane %d cannot refresh (secondary, or link down)" p.Panel.pid)
           | Some (res, stats) ->
               Printf.printf
@@ -461,10 +509,103 @@ let repl_cmd =
           close_out oc;
           Printf.printf "session saved to %s\n" file;
           Ok ()
+      | [ "session"; "new"; name ] | [ "session"; "new"; name; _ ] ->
+          let* faults =
+            match words with
+            | [ _; _; _; r ] ->
+                let* rate = float_of r "a fault rate" in
+                Ok (Transport.faults_of_rate rate)
+            | _ -> Ok Transport.no_faults
+          in
+          let* sid = admit (Session.open_session ~faults ~target:"wire" srv name) in
+          cur := sid;
+          Printf.printf "session %d (%s) opened and selected\n" sid name;
+          Ok ()
+      | [ "session"; "list" ] ->
+          List.iter
+            (fun sid ->
+              Printf.printf " %c %d %-10s plots %d, refreshes %d, rejections %d, faults %d\n"
+                (if sid = !cur then '*' else ' ')
+                sid
+                (Option.value (Session.session_name srv sid) ~default:"?")
+                (Session.counter srv sid "plots")
+                (Session.counter srv sid "refreshes")
+                (Session.counter srv sid "rejections")
+                (Session.counter srv sid "faults"))
+            (Session.session_ids srv);
+          Ok ()
+      | [ "session"; "use"; sid ] ->
+          let* id = int_of sid "a session id" in
+          if List.mem id (Session.session_ids srv) then begin
+            cur := id;
+            Ok ()
+          end
+          else Error (Printf.sprintf "no session %d (try 'session list')" id)
+      | [ "session"; "close"; sid ] ->
+          let* id = int_of sid "a session id" in
+          let remaining = List.filter (fun x -> x <> id) (Session.session_ids srv) in
+          if not (List.mem id (Session.session_ids srv)) then
+            Error (Printf.sprintf "no session %d" id)
+          else if remaining = [] then Error "cannot close the last session"
+          else begin
+            Session.close_session srv id;
+            if !cur = id then cur := List.hd remaining;
+            Printf.printf "session %d closed; now on %d\n" id !cur;
+            Ok ()
+          end
+      | [ "session"; "budget"; "reads"; v ] ->
+          let b = Option.value (Session.budget_of srv !cur) ~default:Session.unlimited in
+          let* max_reads =
+            if v = "off" then Ok None
+            else
+              let* n = int_of v "a read count" in
+              Ok (Some n)
+          in
+          Session.set_budget srv !cur { b with Session.max_reads };
+          Ok ()
+      | [ "session"; "budget"; "ms"; v ] ->
+          let b = Option.value (Session.budget_of srv !cur) ~default:Session.unlimited in
+          let* max_sim_ms =
+            if v = "off" then Ok None
+            else
+              let* f = float_of v "a wire-time budget in ms" in
+              Ok (Some f)
+          in
+          Session.set_budget srv !cur { b with Session.max_sim_ms };
+          Ok ()
+      | [ "session"; "epoch" ] ->
+          Session.begin_epoch srv !cur;
+          Printf.printf "session %d: fresh epoch (budgets and cache stats reset)\n" !cur;
+          Ok ()
+      | "session" :: _ ->
+          Error "usage: session new <name> [rate] | list | use <id> | close <id> | budget reads|ms <n|off> | epoch"
+      | [ "server"; "status" ] ->
+          print_string (Session.status srv);
+          Ok ()
+      | [ "server"; "save"; file ] ->
+          let oc = open_out file in
+          output_string oc (Session.save_fleet srv);
+          close_out oc;
+          Printf.printf "fleet snapshot written to %s\n" file;
+          Ok ()
+      | [ "server"; "recover"; file ] ->
+          let ic = open_in file in
+          let json = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          List.iter
+            (function
+              | Session.Admitted (sid, stale) ->
+                  Printf.printf "session %d replayed (%d stale panes)\n" sid stale
+              | Session.Rejected { reason } ->
+                  Printf.printf "refused: %s\n" (Session.reason_to_string reason))
+            (Session.recover_fleet srv json);
+          Ok ()
+      | "server" :: _ -> Error "usage: server status | save <file> | recover <file>"
       | w :: _ -> Error (Printf.sprintf "unknown command %S (try 'help')" w)
     in
     let rec loop () =
-      print_string "(visualinux) ";
+      Printf.printf "(visualinux:%s) "
+        (Option.value (Session.session_name srv !cur) ~default:"?");
       match input_line stdin with
       | exception End_of_file -> ()
       | line -> (

@@ -33,9 +33,14 @@ let config () = { Viewcl.flags = Ktypes.flag_tables; emojis }
 (** Attach to a booted kernel. [target_pid] (default: the first user
     process) is exposed to ViewCL scripts as a macro. [transport], when
     given, routes every target read over a simulated debugger link
-    (latency accounting, fault injection, retry/backoff, breaker). *)
-let attach ?target_pid ?transport kernel =
-  let target = Khelpers.attach kernel in
+    (latency accounting, fault injection, retry/backoff, breaker).
+    [target], when given, reuses an existing target handle instead of
+    building a fresh one — the session server's multiplexing hook: N
+    sessions sharing one handle also share its generation-validated
+    read cache, so one session's cold plot warms every session's
+    refresh of the same structures. *)
+let attach ?target_pid ?transport ?target kernel =
+  let target = match target with Some t -> t | None -> Khelpers.attach kernel in
   Option.iter (Target.set_transport target) transport;
   let pid =
     match target_pid with
@@ -262,8 +267,11 @@ let recover ?ops s =
   (* Journal replay rebuilds every pane from scratch (and reassigns pane
      ids as the ops are replayed), so the per-pane caches are dead
      weight — drop them rather than risk pairing a cache with the wrong
-     pane. *)
+     pane.  The read-cache hit/miss counters restart with them: a
+     recovery opens a fresh cache epoch, so hit-rate reporting never
+     mixes pre- and post-recovery traffic. *)
   Hashtbl.reset s.caches;
+  Target.reset_cache_stats s.target;
   let ops = match ops with Some o -> o | None -> Panel.journal s.panel in
   let panel, stale = Panel.recover ~extract:(extract_for s) ops in
   s.panel <- panel;

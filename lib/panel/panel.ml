@@ -36,16 +36,27 @@ type op =
   | Jselect of { from_ : pane_id; picked : Vgraph.box_id list }
   | Jrefine of { at : pane_id; viewql : string }
   | Jclose of { id : pane_id }
+  | Jreserve of { n : int }
+      (** emitted by {!compact_journal} in place of dropped
+          pane-creating ops: replay skips [n] pane ids, so the panes
+          that survive compaction keep their pre-compaction numbering *)
 
 type t = {
   panes : (pane_id, pane) Hashtbl.t;
   mutable layout : layout option;
   mutable next_id : int;
   mutable journal_rev : op list;  (** newest first; checkpointed per op *)
+  mutable jlen : int;  (** length of [journal_rev] *)
+  mutable compact_base : int option;  (** auto-compact threshold; [None] = off *)
+  mutable compact_next : int;  (** next length that triggers a compaction *)
 }
 
+let default_compact_threshold = 512
+
 let create () =
-  { panes = Hashtbl.create 8; layout = None; next_id = 1; journal_rev = [] }
+  { panes = Hashtbl.create 8; layout = None; next_id = 1; journal_rev = [];
+    jlen = 0; compact_base = Some default_compact_threshold;
+    compact_next = default_compact_threshold }
 
 let pane t id =
   match Hashtbl.find_opt t.panes id with
@@ -62,13 +73,143 @@ let op_label = function
   | Jselect _ -> "select"
   | Jrefine _ -> "refine"
   | Jclose _ -> "close"
+  | Jreserve _ -> "reserve"
+
+(* ------------------------------------------------------------------ *)
+(* Journal compaction.
+
+   A long-lived session accumulates open/refine/close churn whose panes
+   are gone by the time anyone replays the journal; replaying them is
+   pure waste.  [compact_journal] drops every op belonging to a pane
+   that is closed by the journal's end — its creating op, its refines,
+   its close — provided no surviving op ever observed the pane live (a
+   split anchored at it, a select picking from it: those change layout
+   or id assignment if the pane vanishes, so their targets are kept).
+   Dropped creating ops leave a [Jreserve] in their place so replay
+   skips exactly the ids they would have consumed: the surviving panes
+   come back under their original numbering, byte-for-byte the same
+   panel as an uncompacted replay. *)
+
+(* Mirror of [recover]'s replay semantics, tracking only id assignment
+   and liveness: which ops create a pane (and which id), which ops
+   observed which live pane. *)
+type sim_op = {
+  op : op;
+  created : pane_id option;  (** id this op allocated during replay *)
+  observed : pane_id list;  (** panes this op saw live when it ran *)
+}
+
+let simulate ops =
+  let next = ref 1 in
+  let live = Hashtbl.create 16 in
+  let fresh_id () =
+    let id = !next in
+    incr next;
+    Hashtbl.replace live id ();
+    Some id
+  in
+  List.map
+    (fun op ->
+      match op with
+      | Jopen _ -> { op; created = fresh_id (); observed = [] }
+      | Jsplit { at; _ } ->
+          (* splits fall back to open_primary when [at] is gone, so the
+             pane is created either way; [at] only counts as observed
+             when it was actually live *)
+          let obs = if Hashtbl.mem live at then [ at ] else [] in
+          { op; created = fresh_id (); observed = obs }
+      | Jselect { from_; _ } ->
+          if Hashtbl.mem live from_ then
+            { op; created = fresh_id (); observed = [ from_ ] }
+          else { op; created = None; observed = [] }
+      | Jrefine { at; _ } ->
+          { op; created = None; observed = (if Hashtbl.mem live at then [ at ] else []) }
+      | Jclose { id } ->
+          let obs = if Hashtbl.mem live id then [ id ] else [] in
+          Hashtbl.remove live id;
+          { op; created = None; observed = obs }
+      | Jreserve { n } ->
+          next := !next + n;
+          { op; created = None; observed = [] })
+    ops
+  |> fun sims -> (sims, live)
+
+let compact_journal ops =
+  let sims, live = simulate ops in
+  (* candidate panes: created in this journal, closed by its end *)
+  let droppable = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s.created with
+      | Some id when not (Hashtbl.mem live id) -> Hashtbl.replace droppable id ()
+      | _ -> ())
+    sims;
+  (* fixpoint: a pane stays droppable only while every op that observed
+     it live is itself dropped.  An op is dropped when it belongs to a
+     droppable pane: its creating op, or a refine/close addressed to it. *)
+  let op_dropped s =
+    match s.created with
+    | Some id -> Hashtbl.mem droppable id
+    | None -> (
+        match s.op with
+        | Jrefine { at; _ } -> Hashtbl.mem droppable at
+        | Jclose { id } -> Hashtbl.mem droppable id
+        | _ -> false)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        if not (op_dropped s) then
+          List.iter
+            (fun id ->
+              if Hashtbl.mem droppable id then begin
+                Hashtbl.remove droppable id;
+                changed := true
+              end)
+            s.observed)
+      sims
+  done;
+  (* rebuild: dropped creating ops become reserves (coalesced); dropped
+     refines/closes vanish *)
+  let out = ref [] in
+  let reserve n =
+    match !out with
+    | Jreserve { n = m } :: rest -> out := Jreserve { n = m + n } :: rest
+    | l -> out := Jreserve { n } :: l
+  in
+  List.iter
+    (fun s ->
+      if op_dropped s then (match s.created with Some _ -> reserve 1 | None -> ())
+      else
+        match s.op with
+        | Jreserve { n } -> reserve n
+        | op -> out := op :: !out)
+    sims;
+  List.rev !out
 
 (* The op journal doubles as an observability event stream: every
    checkpointed op shows up as an instant in the trace. *)
+let set_journal_limit t limit =
+  t.compact_base <- limit;
+  t.compact_next <- (match limit with Some n -> max 1 n | None -> max_int)
+
 let checkpoint t op =
   if Obs.enabled () then
     Obs.instant ~cat:"panel" ~attrs:[ ("op", op_label op) ] "panel.op";
-  t.journal_rev <- op :: t.journal_rev
+  t.journal_rev <- op :: t.journal_rev;
+  t.jlen <- t.jlen + 1;
+  match t.compact_base with
+  | Some base when t.jlen > t.compact_next ->
+      let compacted = compact_journal (List.rev t.journal_rev) in
+      t.journal_rev <- List.rev compacted;
+      t.jlen <- List.length compacted;
+      (* churn-free journals (nothing closed) compact to themselves:
+         double the trigger so a stubborn journal costs O(log) passes,
+         not one pass per op *)
+      t.compact_next <- max base (2 * t.jlen)
+  | _ -> ()
 
 let fresh ?(stale = false) t kind graph =
   let id = t.next_id in
@@ -233,6 +374,7 @@ let op_to_json = function
       Printf.sprintf "{\"op\":\"refine\",\"at\":%d,\"viewql\":\"%s\"}" at
         (Vgraph.json_escape viewql)
   | Jclose { id } -> Printf.sprintf "{\"op\":\"close\",\"id\":%d}" id
+  | Jreserve { n } -> Printf.sprintf "{\"op\":\"reserve\",\"n\":%d}" n
 
 let journal_to_json t =
   Printf.sprintf "{\"journal\":[%s]}"
@@ -267,6 +409,7 @@ let journal_of_json json =
               | Some at, Some viewql -> Some (Jrefine { at; viewql })
               | _ -> None)
           | Some "close" -> Option.map (fun id -> Jclose { id }) (int "id")
+          | Some "reserve" -> Option.map (fun n -> Jreserve { n }) (int "n")
           | _ -> None)
         ops
   | _ -> []
@@ -309,6 +452,12 @@ let recover ~extract ops =
         | Jrefine { at; viewql } ->
             if Hashtbl.mem t.panes at then ignore (refine t ~at viewql)
         | Jclose { id } -> close t id
+        | Jreserve { n } ->
+            (* skip the ids the dropped ops would have consumed, and keep
+               the reserve in the rebuilt journal so a *second* recovery
+               numbers panes identically *)
+            t.next_id <- t.next_id + n;
+            checkpoint t (Jreserve { n })
       with _ -> ())
     ops;
   (t, !failed)

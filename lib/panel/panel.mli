@@ -35,6 +35,10 @@ type op =
   | Jselect of { from_ : pane_id; picked : Vgraph.box_id list }
   | Jrefine of { at : pane_id; viewql : string }
   | Jclose of { id : pane_id }
+  | Jreserve of { n : int }
+      (** emitted by {!compact_journal} in place of dropped
+          pane-creating ops: replay skips [n] pane ids, keeping the
+          surviving panes' pre-compaction numbering *)
 
 type t
 
@@ -97,6 +101,20 @@ val saved_programs : t -> (string * string list) list
 
 val journal : t -> op list
 (** The session's ops, oldest first. *)
+
+val compact_journal : op list -> op list
+(** Drop ops belonging to panes that are closed by the journal's end and
+    never observed live by a surviving op (no split anchored at them, no
+    select picking from them); dropped pane-creating ops are replaced by
+    coalesced {!op.Jreserve} markers. Replaying the compacted journal
+    yields the same panel — same surviving pane ids, same layout — as
+    replaying the original. *)
+
+val set_journal_limit : t -> int option -> unit
+(** Auto-compaction threshold: once the journal exceeds the limit, each
+    checkpoint compacts it in place (doubling the trigger when
+    compaction cannot shrink churn-free journals). [None] disables
+    auto-compaction; the default is 512. *)
 
 val journal_to_json : t -> string
 val journal_of_json : string -> op list

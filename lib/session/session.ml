@@ -1,0 +1,647 @@
+(** Multi-session server implementation.  See session.mli for the
+    contract; the mechanics in one paragraph: every session op (a) is
+    admission-checked against capacity, budgets and the target's
+    quarantine state, (b) swaps the session's fault config, per-plot
+    deadline and a budget gate onto the shared transport, (c) runs the
+    underlying {!Visualinux} command, (d) captures the op's fault,
+    read, cache-stat and wire-time deltas into the session's private
+    accounting, and (e) advances the target's Healthy -> Quarantine ->
+    Probation state machine from the breaker/link state the op left
+    behind. *)
+
+type sid = int
+
+(* ------------------------------------------------------------------ *)
+(* Budgets *)
+
+type budget = {
+  max_reads : int option;
+  max_sim_ms : float option;
+  plot_deadline_ms : float option;
+}
+
+let unlimited = { max_reads = None; max_sim_ms = None; plot_deadline_ms = None }
+let budget ?max_reads ?max_sim_ms ?plot_deadline_ms () =
+  { max_reads; max_sim_ms; plot_deadline_ms }
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+type reason =
+  | Capacity of { limit : int }
+  | Unknown_session of sid
+  | Unknown_target of string
+  | Reads_exhausted of { used : int; limit : int }
+  | Budget_exhausted of { used_ms : float; limit_ms : float }
+  | Quarantined of { target : string; prober : sid }
+
+let reason_to_string = function
+  | Capacity { limit } -> Printf.sprintf "capacity: server full (%d sessions)" limit
+  | Unknown_session sid -> Printf.sprintf "unknown session %d" sid
+  | Unknown_target t -> Printf.sprintf "unknown target %S" t
+  | Reads_exhausted { used; limit } ->
+      Printf.sprintf "read budget exhausted (%d/%d this epoch)" used limit
+  | Budget_exhausted { used_ms; limit_ms } ->
+      Printf.sprintf "wire budget exhausted (%.1f/%.1f ms this epoch)" used_ms limit_ms
+  | Quarantined { target; prober } ->
+      Printf.sprintf "target %S quarantined; session %d is probing" target prober
+
+type 'a outcome = Admitted of 'a | Rejected of { reason : reason }
+
+(* ------------------------------------------------------------------ *)
+(* Server state *)
+
+(* Quarantine/probation bookkeeping for one shared target. *)
+type qstate = { mutable prober : sid; mutable probes : int }
+type pstate = { mutable waiting : sid list; mutable skips : int }
+type tstate = Healthy | Quarantine of qstate | Probation of pstate
+
+type shared = {
+  tname : string;
+  target : Target.t;
+  mutable state : tstate;
+  mutable rr : int;  (* round-robin cursor for prober election *)
+}
+
+type sess = {
+  sid : sid;
+  name : string;
+  vis : Visualinux.session;
+  shared : shared;
+  mutable sfaults : Transport.faults;  (* swapped onto the link per op *)
+  mutable sbudget : budget;
+  mutable sreads : int;  (* reads charged this epoch *)
+  mutable ssim_ms : float;  (* wire ms charged this epoch *)
+  mutable flog_rev : Target.fault list;  (* per-session fault journal, newest first *)
+  tab : (string, int) Hashtbl.t;  (* private counter namespace *)
+}
+
+type server = {
+  kernel : Kstate.t;
+  cap : int;
+  mutable next_sid : sid;
+  sessions : (sid, sess) Hashtbl.t;
+  targets : (string, shared) Hashtbl.t;
+  mutable torder : string list;  (* registration order, oldest first *)
+}
+
+let capacity srv = srv.cap
+
+(* After this many fruitless probe ops the quarantined target elects
+   the next session round-robin — a sick prober must not hold the
+   recovery slot forever. *)
+let probe_rounds = 3
+
+let default_target = "t0"
+
+let create ?(capacity = 8) kernel =
+  let srv =
+    { kernel; cap = capacity; next_sid = 1; sessions = Hashtbl.create 8;
+      targets = Hashtbl.create 4; torder = [] }
+  in
+  Hashtbl.replace srv.targets default_target
+    { tname = default_target; target = Khelpers.attach kernel; state = Healthy; rr = 0 };
+  srv.torder <- [ default_target ];
+  srv
+
+let add_target srv ?transport name =
+  if Hashtbl.mem srv.targets name then
+    invalid_arg (Printf.sprintf "Session.add_target: duplicate target %S" name);
+  let target = Khelpers.attach srv.kernel in
+  Option.iter (Target.set_transport target) transport;
+  Hashtbl.replace srv.targets name { tname = name; target; state = Healthy; rr = 0 };
+  srv.torder <- srv.torder @ [ name ]
+
+let target_names srv = srv.torder
+
+type health = [ `Healthy | `Quarantine of sid | `Probation of sid list ]
+
+let shared_of srv name =
+  match Hashtbl.find_opt srv.targets name with
+  | Some sh -> sh
+  | None -> invalid_arg (Printf.sprintf "Session: unknown target %S" name)
+
+let target_health srv name : health =
+  match (shared_of srv name).state with
+  | Healthy -> `Healthy
+  | Quarantine q -> `Quarantine q.prober
+  | Probation p -> `Probation p.waiting
+
+(* ------------------------------------------------------------------ *)
+(* Per-session counters *)
+
+let ns sess key = Printf.sprintf "session.%d.%s" sess.sid key
+
+let bump ?(by = 1) sess key =
+  if by <> 0 then begin
+    Hashtbl.replace sess.tab key (by + Option.value ~default:0 (Hashtbl.find_opt sess.tab key));
+    if Obs.enabled () then Obs.Metrics.incr ~by (ns sess key)
+  end
+
+let counters srv sid =
+  match Hashtbl.find_opt srv.sessions sid with
+  | None -> []
+  | Some sess ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) sess.tab []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counter srv sid key =
+  match Hashtbl.find_opt srv.sessions sid with
+  | None -> 0
+  | Some sess -> Option.value ~default:0 (Hashtbl.find_opt sess.tab key)
+
+let fault_journal srv sid =
+  match Hashtbl.find_opt srv.sessions sid with
+  | None -> []
+  | Some sess -> List.rev sess.flog_rev
+
+let wire_ms srv sid =
+  match Hashtbl.find_opt srv.sessions sid with None -> 0. | Some s -> s.ssim_ms
+
+let reads_used srv sid =
+  match Hashtbl.find_opt srv.sessions sid with None -> 0 | Some s -> s.sreads
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let live_sids_on srv sh =
+  Hashtbl.fold (fun sid s acc -> if s.shared == sh then sid :: acc else acc) srv.sessions []
+  |> List.sort compare
+
+let sessions_gauge srv =
+  if Obs.enabled () then
+    Obs.Metrics.set_gauge "server.sessions" (float_of_int (Hashtbl.length srv.sessions))
+
+let mk_session srv ~sid ~budget ~faults ~tname name =
+  let sh = shared_of srv tname in
+  let vis = Visualinux.attach ~target:sh.target srv.kernel in
+  let sess =
+    { sid; name; vis; shared = sh; sfaults = faults; sbudget = budget; sreads = 0;
+      ssim_ms = 0.; flog_rev = []; tab = Hashtbl.create 16 }
+  in
+  Hashtbl.replace srv.sessions sid sess;
+  if sid >= srv.next_sid then srv.next_sid <- sid + 1;
+  sessions_gauge srv;
+  sess
+
+let open_session ?(budget = unlimited) ?(faults = Transport.no_faults)
+    ?(target = default_target) srv name =
+  if not (Hashtbl.mem srv.targets target) then Rejected { reason = Unknown_target target }
+  else if Hashtbl.length srv.sessions >= srv.cap then
+    Rejected { reason = Capacity { limit = srv.cap } }
+  else begin
+    let sess = mk_session srv ~sid:srv.next_sid ~budget ~faults ~tname:target name in
+    if Obs.enabled () then
+      Obs.instant ~cat:"session"
+        ~attrs:[ ("sid", string_of_int sess.sid); ("name", name); ("target", target) ]
+        "session.open";
+    Admitted sess.sid
+  end
+
+let close_session srv sid =
+  match Hashtbl.find_opt srv.sessions sid with
+  | None -> ()
+  | Some sess ->
+      Hashtbl.remove srv.sessions sid;
+      sessions_gauge srv;
+      let sh = sess.shared in
+      (* drop the departed session from recovery bookkeeping *)
+      (match sh.state with
+      | Healthy -> ()
+      | Quarantine q when q.prober = sid -> (
+          match live_sids_on srv sh with
+          | [] -> sh.state <- Healthy
+          | s :: _ ->
+              q.prober <- s;
+              q.probes <- 0)
+      | Quarantine _ -> ()
+      | Probation p -> (
+          p.waiting <- List.filter (fun s -> s <> sid) p.waiting;
+          match p.waiting with [] -> sh.state <- Healthy | _ -> ()))
+
+let session_ids srv =
+  Hashtbl.fold (fun sid _ acc -> sid :: acc) srv.sessions [] |> List.sort compare
+
+let session_name srv sid =
+  Option.map (fun s -> s.name) (Hashtbl.find_opt srv.sessions sid)
+
+let vis srv sid = Option.map (fun s -> s.vis) (Hashtbl.find_opt srv.sessions sid)
+
+let set_budget srv sid b =
+  Option.iter (fun s -> s.sbudget <- b) (Hashtbl.find_opt srv.sessions sid)
+
+let budget_of srv sid =
+  Option.map (fun s -> s.sbudget) (Hashtbl.find_opt srv.sessions sid)
+
+let set_faults srv sid f =
+  Option.iter (fun s -> s.sfaults <- f) (Hashtbl.find_opt srv.sessions sid)
+
+let begin_epoch srv sid =
+  Option.iter
+    (fun s ->
+      s.sreads <- 0;
+      s.ssim_ms <- 0.;
+      List.iter (Hashtbl.remove s.tab) [ "cache.hits"; "cache.misses"; "cache.coalesced" ];
+      bump s "epochs")
+    (Hashtbl.find_opt srv.sessions sid)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation state machine *)
+
+let elect srv sh =
+  match live_sids_on srv sh with
+  | [] -> None
+  | sids ->
+      let n = List.length sids in
+      let pick = List.nth sids (sh.rr mod n) in
+      sh.rr <- sh.rr + 1;
+      Some pick
+
+let obs_state sh label =
+  if Obs.enabled () then begin
+    Obs.instant ~cat:"session" ~attrs:[ ("target", sh.tname) ] label;
+    Obs.Metrics.incr (Printf.sprintf "server.%s" label)
+  end
+
+(* Enter quarantine: elect a prober round-robin; every other session on
+   the target falls back to serving [STALE] panes from its caches. *)
+let enter_quarantine srv sh =
+  match elect srv sh with
+  | None -> sh.state <- Healthy
+  | Some prober ->
+      sh.state <- Quarantine { prober; probes = 0 };
+      obs_state sh "quarantine.enter";
+      Hashtbl.iter
+        (fun sid s ->
+          if s.shared == sh && sid <> prober then begin
+            Panel.mark_all_stale s.vis.Visualinux.panel;
+            bump s "stale.epochs"
+          end)
+        srv.sessions
+
+let link_bad tr = Transport.link tr = Transport.Down || Transport.breaker tr = Transport.Open
+
+let link_recovered tr =
+  Transport.link tr = Transport.Up && Transport.breaker tr = Transport.Closed
+
+(* Advance the target's state from what [sess]'s (admitted) op left on
+   the shared link. *)
+let update_health srv sh sess =
+  match Target.transport sh.target with
+  | None -> ()
+  | Some tr -> (
+      match sh.state with
+      | Healthy -> if link_bad tr then enter_quarantine srv sh
+      | Quarantine q ->
+          if link_recovered tr then begin
+            (* recovered: re-admit the waiting sessions one op at a
+               time, in sid order — fair, staggered, no herd *)
+            let others = List.filter (fun s -> s <> q.prober) (live_sids_on srv sh) in
+            (match others with
+            | [] -> sh.state <- Healthy
+            | waiting -> sh.state <- Probation { waiting; skips = 0 });
+            obs_state sh "quarantine.exit"
+          end
+          else if sess.sid = q.prober then begin
+            q.probes <- q.probes + 1;
+            bump sess "probes";
+            if q.probes >= probe_rounds then begin
+              (* the prober is not making progress (it may be the sick
+                 session itself): pass the probe slot on *)
+              (match elect srv sh with Some p -> q.prober <- p | None -> ());
+              q.probes <- 0
+            end
+          end
+      | Probation p ->
+          if link_bad tr then enter_quarantine srv sh
+          else (
+            (* every admitted op on the target re-admits one waiter *)
+            match p.waiting with
+            | [] -> sh.state <- Healthy
+            | _ :: [] -> sh.state <- Healthy
+            | _ :: rest -> p.waiting <- rest))
+
+(* Admission against the target's degradation state.  The elected
+   prober passes (its traffic is the probe); the head of a probation
+   queue passes (and is thereby re-admitted); everyone else is refused
+   and should serve stale renders instead. *)
+let degradation_block sh sess =
+  match sh.state with
+  | Healthy -> None
+  | Quarantine q ->
+      if sess.sid = q.prober then begin
+        (* the probe: bring a dead link back up / resync an open breaker
+           to Half_open (a refused fetch charges nothing, so cooldown
+           alone never elapses), then fire a canary read under the
+           prober's own fault config — the op itself may be served
+           entirely from the read cache, and an untested Half_open
+           breaker must not count as recovery *)
+        (match Target.transport sh.target with
+        | Some tr ->
+            if Transport.link tr = Transport.Down || Transport.breaker tr = Transport.Open
+            then Transport.reconnect tr;
+            let saved = Transport.faults_of tr in
+            Transport.set_faults tr sess.sfaults;
+            Transport.set_deadline tr None;
+            Transport.begin_plot tr;
+            ignore (Transport.fetch tr ~bytes:8 (fun () -> ()));
+            Transport.set_faults tr saved
+        | None -> ());
+        None
+      end
+      else Some (Quarantined { target = sh.tname; prober = q.prober })
+  | Probation p -> (
+      match p.waiting with
+      | [] ->
+          sh.state <- Healthy;
+          None
+      | head :: rest ->
+          if sess.sid = head || not (List.mem sess.sid p.waiting) then None
+          else begin
+            (* a non-head waiter knocked: count it, and once every
+               waiter has been turned away rotate the head so a silent
+               head cannot starve the queue *)
+            p.skips <- p.skips + 1;
+            if p.skips > List.length p.waiting then begin
+              p.waiting <- rest @ [ head ];
+              p.skips <- 0
+            end;
+            Some (Quarantined { target = sh.tname; prober = List.hd p.waiting })
+          end)
+
+let budget_block sess =
+  match sess.sbudget.max_reads with
+  | Some limit when sess.sreads >= limit ->
+      Some (Reads_exhausted { used = sess.sreads; limit })
+  | _ -> (
+      match sess.sbudget.max_sim_ms with
+      | Some limit_ms when sess.ssim_ms >= limit_ms ->
+          Some (Budget_exhausted { used_ms = sess.ssim_ms; limit_ms })
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The isolated op wrapper *)
+
+(* Swap the session's fault config, deadline and budget gate onto the
+   shared transport, run [f], then capture this op's deltas (faults,
+   reads, wire ms, cache stats) into the session's private accounting —
+   restoring the link's config on every path. *)
+let run_isolated srv sess f =
+  let sh = sess.shared in
+  let tgt = sh.target in
+  let tr_opt = Target.transport tgt in
+  let saved_faults = Option.map Transport.faults_of tr_opt in
+  let snap0 =
+    match tr_opt with Some tr -> Some (Transport.snapshot tr) | None -> None
+  in
+  let cs0 = Target.cache_stats tgt in
+  (* the global fault journal is drained per op (see below), so the op's
+     faults are exactly [Target.faults tgt] afterwards *)
+  Target.clear_faults tgt;
+  Option.iter
+    (fun tr ->
+      Transport.set_faults tr sess.sfaults;
+      Transport.set_deadline tr sess.sbudget.plot_deadline_ms;
+      let op_reads = ref 0 in
+      let sim0 = (Transport.snapshot tr).Transport.sim_ms in
+      Transport.set_gate tr
+        (Some
+           (fun ~bytes:_ ->
+             match sess.sbudget.max_reads with
+             | Some lim when sess.sreads + !op_reads >= lim ->
+                 Some Transport.Deadline_exceeded
+             | _ -> (
+                 match sess.sbudget.max_sim_ms with
+                 | Some lim
+                   when sess.ssim_ms +. ((Transport.snapshot tr).Transport.sim_ms -. sim0)
+                        >= lim ->
+                     Some Transport.Deadline_exceeded
+                 | _ ->
+                     incr op_reads;
+                     None))))
+    tr_opt;
+  let t0 = Obs.Clock.now_ms () in
+  let finish () =
+    (* accounting first, then restore the link for the next session *)
+    let wall = Obs.Clock.elapsed_ms t0 in
+    let faults = Target.faults tgt in
+    Target.clear_faults tgt;
+    sess.flog_rev <- List.rev_append faults sess.flog_rev;
+    bump ~by:(List.length faults) sess "faults";
+    let cs1 = Target.cache_stats tgt in
+    bump ~by:(cs1.Target.hits - cs0.Target.hits) sess "cache.hits";
+    bump ~by:(cs1.Target.misses - cs0.Target.misses) sess "cache.misses";
+    bump ~by:(cs1.Target.coalesced - cs0.Target.coalesced) sess "cache.coalesced";
+    bump sess "ops";
+    let sim_delta =
+      match (tr_opt, snap0) with
+      | Some tr, Some s0 ->
+          let s1 = Transport.snapshot tr in
+          bump ~by:(s1.Transport.reads_ok - s0.Transport.reads_ok) sess "reads";
+          bump ~by:(s1.Transport.deadline_hits - s0.Transport.deadline_hits) sess
+            "budget.refusals";
+          sess.sreads <- sess.sreads + (s1.Transport.reads_ok - s0.Transport.reads_ok);
+          let d = s1.Transport.sim_ms -. s0.Transport.sim_ms in
+          sess.ssim_ms <- sess.ssim_ms +. d;
+          d
+      | _ -> 0.
+    in
+    if Obs.enabled () then Obs.Metrics.observe (ns sess "op_ms") (wall +. sim_delta);
+    Option.iter
+      (fun tr ->
+        Transport.set_gate tr None;
+        Option.iter (Transport.set_faults tr) saved_faults)
+      tr_opt;
+    update_health srv sh sess
+  in
+  match f () with
+  | x ->
+      finish ();
+      x
+  | exception e ->
+      finish ();
+      raise e
+
+(* Full admission pipeline for one v-command. *)
+let admit srv sid kind f =
+  match Hashtbl.find_opt srv.sessions sid with
+  | None -> Rejected { reason = Unknown_session sid }
+  | Some sess -> (
+      match budget_block sess with
+      | Some reason ->
+          bump sess "rejections";
+          Rejected { reason }
+      | None -> (
+          match degradation_block sess.shared sess with
+          | Some reason ->
+              bump sess "rejections";
+              Rejected { reason }
+          | None ->
+              let r = run_isolated srv sess (fun () -> f sess) in
+              bump sess kind;
+              Admitted r))
+
+(* ------------------------------------------------------------------ *)
+(* v-commands *)
+
+let vplot srv sid ?title src =
+  admit srv sid "plots" (fun sess -> Visualinux.vplot sess.vis ?title src)
+
+let vrefresh srv sid ~pane =
+  admit srv sid "refreshes" (fun sess -> Visualinux.vrefresh sess.vis ~pane)
+
+let vctrl srv sid cmd = admit srv sid "ctrls" (fun sess -> Visualinux.vctrl sess.vis cmd)
+
+let render srv sid pane =
+  match Hashtbl.find_opt srv.sessions sid with
+  | None -> None
+  | Some sess ->
+      let r = Visualinux.render_pane sess.vis pane in
+      if r <> None then begin
+        bump sess "renders";
+        match Panel.pane_opt sess.vis.Visualinux.panel pane with
+        | Some p when p.Panel.stale -> bump sess "stale.renders"
+        | _ -> ()
+      end;
+      r
+
+let recover_session srv sid =
+  admit srv sid "recovers" (fun sess -> Visualinux.recover sess.vis)
+
+let refresh_stale srv sid =
+  admit srv sid "refreshes" (fun sess -> Visualinux.refresh_stale sess.vis)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet snapshot / recovery *)
+
+let faults_json (f : Transport.faults) =
+  Printf.sprintf "{\"stall\":%g,\"drop\":%g,\"disconnect\":%g}" f.Transport.stall_rate
+    f.Transport.drop_rate f.Transport.disconnect_rate
+
+let budget_json b =
+  let opt_i = function None -> "null" | Some n -> string_of_int n in
+  let opt_f = function None -> "null" | Some x -> Printf.sprintf "%g" x in
+  Printf.sprintf "{\"max_reads\":%s,\"max_sim_ms\":%s,\"plot_deadline_ms\":%s}"
+    (opt_i b.max_reads) (opt_f b.max_sim_ms) (opt_f b.plot_deadline_ms)
+
+let save_fleet srv =
+  let one sid =
+    let sess = Hashtbl.find srv.sessions sid in
+    Printf.sprintf
+      "{\"sid\":%d,\"name\":\"%s\",\"target\":\"%s\",\"budget\":%s,\"faults\":%s,\"jn\":%s}"
+      sid (Vgraph.json_escape sess.name)
+      (Vgraph.json_escape sess.shared.tname)
+      (budget_json sess.sbudget) (faults_json sess.sfaults)
+      (Panel.journal_to_json sess.vis.Visualinux.panel)
+  in
+  Printf.sprintf "{\"fleet\":[%s]}"
+    (String.concat "," (List.map one (session_ids srv)))
+
+let budget_of_json j =
+  let f k = match Json.member k j with Some (Json.Float x) -> Some x
+    | Some (Json.Int n) -> Some (float_of_int n) | _ -> None in
+  let i k = match Json.member k j with Some (Json.Int n) -> Some n | _ -> None in
+  { max_reads = i "max_reads"; max_sim_ms = f "max_sim_ms";
+    plot_deadline_ms = f "plot_deadline_ms" }
+
+let faults_of_json j =
+  let f k d =
+    match Json.member k j with
+    | Some (Json.Float x) -> x
+    | Some (Json.Int n) -> float_of_int n
+    | _ -> d
+  in
+  { Transport.stall_rate = f "stall" 0.; drop_rate = f "drop" 0.;
+    disconnect_rate = f "disconnect" 0. }
+
+let recover_fleet srv json =
+  let j = Json.parse json in
+  let entries =
+    match Json.member "fleet" j with Some (Json.List l) -> l | _ -> []
+  in
+  List.map
+    (fun e ->
+      let str k = Option.map Json.to_str (Json.member k e) in
+      let name = Option.value ~default:"?" (str "name") in
+      let tname = Option.value ~default:default_target (str "target") in
+      let budget =
+        match Json.member "budget" e with Some b -> budget_of_json b | None -> unlimited
+      in
+      let faults =
+        match Json.member "faults" e with
+        | Some f -> faults_of_json f
+        | None -> Transport.no_faults
+      in
+      let ops =
+        match Json.member "jn" e with
+        | Some jn -> Panel.journal_of_json (Json.to_string jn)
+        | None -> []
+      in
+      match open_session ~budget ~faults ~target:tname srv name with
+      | Rejected r -> Rejected r
+      | Admitted sid -> (
+          match
+            admit srv sid "recovers" (fun sess -> Visualinux.recover ~ops sess.vis)
+          with
+          | Rejected r -> Rejected r
+          | Admitted stale -> Admitted (sid, stale)))
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Status *)
+
+let status srv =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "server: %d/%d sessions, %d target%s\n"
+    (Hashtbl.length srv.sessions) srv.cap
+    (List.length srv.torder)
+    (if List.length srv.torder = 1 then "" else "s");
+  List.iter
+    (fun tname ->
+      let sh = shared_of srv tname in
+      let link =
+        match Target.transport sh.target with
+        | None -> "local"
+        | Some tr ->
+            Printf.sprintf "%s %s, breaker %s"
+              (Transport.profile_of tr).Transport.pname
+              (match Transport.link tr with Transport.Up -> "up" | Transport.Down -> "down")
+              (match Transport.breaker tr with
+              | Transport.Closed -> "closed"
+              | Transport.Open -> "open"
+              | Transport.Half_open -> "half-open")
+      in
+      let state =
+        match sh.state with
+        | Healthy -> "healthy"
+        | Quarantine q -> Printf.sprintf "QUARANTINE (session %d probing)" q.prober
+        | Probation p ->
+            Printf.sprintf "probation (waiting: %s)"
+              (String.concat "," (List.map string_of_int p.waiting))
+      in
+      let cs = Target.cache_stats sh.target in
+      Printf.bprintf b "target %-8s [%s] %s | cache %d hit / %d miss\n" tname link state
+        cs.Target.hits cs.Target.misses)
+    srv.torder;
+  List.iter
+    (fun sid ->
+      let sess = Hashtbl.find srv.sessions sid in
+      let budget_s =
+        match (sess.sbudget.max_reads, sess.sbudget.max_sim_ms) with
+        | None, None -> "unlimited"
+        | r, m ->
+            String.concat ", "
+              (List.filter_map Fun.id
+                 [ Option.map (fun l -> Printf.sprintf "%d/%d reads" sess.sreads l) r;
+                   Option.map (fun l -> Printf.sprintf "%.1f/%.1f ms" sess.ssim_ms l) m ])
+      in
+      Printf.bprintf b
+        "session %d %-10s on %s | %d plots, %d faults, %d rejections | budget %s\n" sid
+        (Printf.sprintf "%S" sess.name)
+        sess.shared.tname
+        (Option.value ~default:0 (Hashtbl.find_opt sess.tab "plots"))
+        (Option.value ~default:0 (Hashtbl.find_opt sess.tab "faults"))
+        (Option.value ~default:0 (Hashtbl.find_opt sess.tab "rejections"))
+        budget_s)
+    (session_ids srv);
+  Buffer.contents b

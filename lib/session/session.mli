@@ -1,0 +1,197 @@
+(** The multi-session server: N concurrent debugging sessions over one
+    booted kernel, multiplexed over shared {!Target} handles.
+
+    Sessions are interleaved, not threaded — every v-command runs to
+    completion before the next — which makes exact per-session
+    accounting possible: the server swaps each session's transport
+    fault configuration, per-plot deadline and admission gate onto the
+    shared link for the duration of its op, then captures the fault
+    journal, read, cache and wire-time deltas that op produced.  The
+    result is {e fault isolation}: one session's fault storm, torn-read
+    burst or breaker-Open never shows up in another session's rendered
+    bytes, per-session counters or recovery state, while the sessions
+    still share the target's generation-validated read cache (one
+    session's cold plot warms every session's refresh of the same
+    structures).
+
+    {e Admission control}: capacity, per-session read/wire budgets and
+    target quarantine refuse work with a typed {!outcome.Rejected}
+    rather than an exception; budget refusals mid-plot are enforced at
+    the {!Transport.fetch} boundary (the read degrades to a
+    [Timed_out] fault, never an abort).
+
+    {e Degradation-fair scheduling}: when a shared target's breaker
+    opens (or its link dies), the target enters quarantine — one
+    elected session probes the link while the others serve [STALE]
+    panes from their caches; once the probe succeeds the waiting
+    sessions are re-admitted one per op (no thundering herd).
+
+    {e Crash-safe fleet recovery}: {!save_fleet} serializes every
+    session's op journal; {!recover_fleet} replays them into a fresh
+    server, reproducing each session's pane and box ids. *)
+
+type sid = int
+
+(* ------------------------------------------------------------------ *)
+(** {1 Budgets} *)
+
+(** Per-session, per-epoch resource limits.  All unlimited by default. *)
+type budget = {
+  max_reads : int option;  (** transport reads per epoch *)
+  max_sim_ms : float option;  (** simulated wire ms per epoch *)
+  plot_deadline_ms : float option;  (** per-plot transport deadline *)
+}
+
+val unlimited : budget
+val budget : ?max_reads:int -> ?max_sim_ms:float -> ?plot_deadline_ms:float -> unit -> budget
+
+(* ------------------------------------------------------------------ *)
+(** {1 Admission} *)
+
+(** Why the server refused an operation. *)
+type reason =
+  | Capacity of { limit : int }  (** the session table is full *)
+  | Unknown_session of sid
+  | Unknown_target of string
+  | Reads_exhausted of { used : int; limit : int }
+      (** the session spent its per-epoch read budget *)
+  | Budget_exhausted of { used_ms : float; limit_ms : float }
+      (** the session spent its per-epoch wire-time budget *)
+  | Quarantined of { target : string; prober : sid }
+      (** the target is quarantined and this session is not the elected
+          prober (or not yet re-admitted from probation) *)
+
+val reason_to_string : reason -> string
+
+(** Every server entry point returns [Admitted]/[Rejected], never an
+    admission exception. *)
+type 'a outcome = Admitted of 'a | Rejected of { reason : reason }
+
+(* ------------------------------------------------------------------ *)
+(** {1 The server} *)
+
+type server
+
+val create : ?capacity:int -> Kstate.t -> server
+(** A server over one booted kernel with a default local (transportless)
+    target ["t0"].  [capacity] (default 8) bounds concurrent sessions. *)
+
+val capacity : server -> int
+
+val add_target : server -> ?transport:Transport.t -> string -> unit
+(** Register a named shared target handle (its own link, breaker and
+    read cache).  @raise Invalid_argument on duplicate names. *)
+
+val target_names : server -> string list
+
+(** A shared target's degradation state, as seen from outside. *)
+type health = [ `Healthy | `Quarantine of sid | `Probation of sid list ]
+
+val target_health : server -> string -> health
+(** @raise Invalid_argument on unknown targets. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Session lifecycle} *)
+
+val open_session :
+  ?budget:budget -> ?faults:Transport.faults -> ?target:string -> server -> string -> sid outcome
+(** Admit a named session onto [target] (default ["t0"]).  [faults] is
+    the fault configuration {e this session's} traffic runs under on
+    the shared link (default {!Transport.no_faults}). *)
+
+val close_session : server -> sid -> unit
+(** Idempotent; a closed prober or probation entry is dropped from its
+    target's recovery bookkeeping. *)
+
+val session_ids : server -> sid list
+val session_name : server -> sid -> string option
+
+val vis : server -> sid -> Visualinux.session option
+(** The underlying per-session façade, for read-only uses (rendering,
+    pane inspection).  Driving v-commands through it directly bypasses
+    the server's accounting and isolation; use the wrappers below. *)
+
+val set_budget : server -> sid -> budget -> unit
+val budget_of : server -> sid -> budget option
+val set_faults : server -> sid -> Transport.faults -> unit
+
+val begin_epoch : server -> sid -> unit
+(** Open a fresh budget/cache-stat epoch for the session: resets its
+    read and wire-time spend and its [cache.*] counters, bumps the
+    [epochs] counter.  Cumulative counters ([plots], [faults], ...)
+    survive. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 v-commands, isolated and accounted} *)
+
+val vplot :
+  server -> sid -> ?title:string -> string ->
+  (Panel.pane * Viewcl.result * Visualinux.plot_stats) outcome
+(** {!Visualinux.vplot} under the session's fault config, deadline and
+    admission gate.  @raise Viewcl.Error on malformed programs (a
+    program error is the caller's bug, not an admission decision). *)
+
+val vrefresh :
+  server -> sid -> pane:Panel.pane_id ->
+  (Viewcl.result * Visualinux.plot_stats) option outcome
+(** Incremental re-plot of one pane (see {!Visualinux.vrefresh}). *)
+
+val vctrl : server -> sid -> Visualinux.vctrl -> Visualinux.vctrl_result outcome
+
+val render : server -> sid -> Panel.pane_id -> string option
+(** Render a pane from the session's cached graph.  Never [Rejected] —
+    serving [STALE] panes without touching the link {e is} the degraded
+    mode a quarantined target leaves its other sessions in.  [None] for
+    unknown sessions or panes. *)
+
+val recover_session : server -> sid -> int outcome
+(** Replay this session's own journal (see {!Visualinux.recover});
+    returns the number of panes that came back stale. *)
+
+val refresh_stale : server -> sid -> Panel.pane_id list outcome
+(** Re-extract the session's stale panes; returns the ids brought back
+    live. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Per-session accounting} *)
+
+val counters : server -> sid -> (string * int) list
+(** The session's private counter namespace, sorted by name: [plots],
+    [refreshes], [ctrls], [reads], [faults], [cache.hits],
+    [cache.misses], [cache.coalesced], [rejections], [budget.refusals],
+    [probes], [stale.renders], [epochs], [recovers].  Only this
+    session's ops move them.  Mirrored as Obs counters
+    [session.<sid>.<name>] when profiling is on. *)
+
+val counter : server -> sid -> string -> int
+(** 0 when absent (or the session is unknown). *)
+
+val fault_journal : server -> sid -> Target.fault list
+(** The faults recorded during this session's ops, oldest first — the
+    per-session view of {!Target.faults} (whose global journal the
+    server drains after each op). *)
+
+val wire_ms : server -> sid -> float
+(** Simulated wire ms this session charged in the current epoch. *)
+
+val reads_used : server -> sid -> int
+
+(* ------------------------------------------------------------------ *)
+(** {1 Fleet recovery} *)
+
+val save_fleet : server -> string
+(** JSON snapshot of every open session: name, target, budget, fault
+    config and full op journal. *)
+
+val recover_fleet : server -> string -> (sid * int) outcome list
+(** Rebuild the fleet from a {!save_fleet} snapshot into [server]
+    (typically a fresh one over the same kernel, with the same target
+    names registered).  Each session is re-admitted — capacity applies —
+    and its journal replayed under its own fault config and budget;
+    pane ids are reproduced by replay order and box ids by
+    deterministic re-extraction.  Returns, per saved session, the new
+    sid and its stale-pane count. *)
+
+val status : server -> string
+(** Human-readable multi-line server summary (targets, health,
+    sessions, budgets) for the repl. *)

@@ -330,14 +330,28 @@ let clear_read_cache t = Hashtbl.reset t.rcache
 let cache_usable t tr =
   t.cache_on && Transport.link tr = Transport.Up && Transport.breaker tr = Transport.Closed
 
+(* The running hit rate as a metrics gauge, refreshed on every cache
+   decision while obs is on — so cache effectiveness shows up in the
+   gauges registry of any BENCH_*.json, not only as raw counters. *)
+let hit_rate_gauge t =
+  let total = t.ch_hits + t.ch_misses in
+  if total > 0 then
+    Obs.Metrics.set_gauge "cache.hit_rate" (float_of_int t.ch_hits /. float_of_int total)
+
 let cache_hit t =
   t.ch_hits <- t.ch_hits + 1;
-  if Obs.enabled () then Obs.Counter.incr c_hits
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_hits;
+    hit_rate_gauge t
+  end
 
 let cache_miss t =
   if t.cache_on then begin
     t.ch_misses <- t.ch_misses + 1;
-    if Obs.enabled () then Obs.Counter.incr c_misses
+    if Obs.enabled () then begin
+      Obs.Counter.incr c_misses;
+      hit_rate_gauge t
+    end
   end
 
 (* Struct-granular coalescing: fetch a whole object extent in one

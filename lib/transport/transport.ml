@@ -85,6 +85,9 @@ type t = {
   mutable clock_ms : float;  (* simulated wire time, whole lifetime *)
   mutable spent_ms : float;  (* simulated wire time, current plot *)
   mutable deadline_ms : float option;
+  mutable gate : (bytes:int -> error option) option;
+      (* session-server admission hook: consulted (and charged) on every
+         fetch before the wire is touched *)
   (* counters *)
   mutable reads_ok : int;
   mutable attempts : int;
@@ -100,7 +103,8 @@ type t = {
 
 let create ?(seed = 0x9e3779b9) ?(policy = default_policy) ?(faults = no_faults) prof =
   { prof; seed; policy; faults; rng = seed; link = Up; brk = Closed; consec_failures = 0;
-    half_open_at = 0.; clock_ms = 0.; spent_ms = 0.; deadline_ms = None; reads_ok = 0;
+    half_open_at = 0.; clock_ms = 0.; spent_ms = 0.; deadline_ms = None; gate = None;
+    reads_ok = 0;
     attempts = 0; retries = 0; stalls = 0; drops = 0; disconnects = 0; reconnects = 0;
     breaker_trips = 0; short_circuits = 0; deadline_hits = 0 }
 
@@ -108,7 +112,9 @@ let profile_of t = t.prof
 let link t = t.link
 let breaker t = t.brk
 let set_faults t f = t.faults <- f
+let faults_of t = t.faults
 let set_policy t p = t.policy <- p
+let set_gate t g = t.gate <- g
 
 let charge t ms =
   t.clock_ms <- t.clock_ms +. ms;
@@ -126,14 +132,21 @@ let any_faults f = f.stall_rate > 0. || f.drop_rate > 0. || f.disconnect_rate > 
 
 (* Every breaker transition funnels through here so state changes show
    up as instant events in the trace. *)
+(* The breaker state as a metrics gauge: 0 closed, 1 half-open, 2 open.
+   Exported on every transition (and refreshed by [begin_plot]) so a
+   degraded link is visible in any BENCH_*.json, not just in traces. *)
+let breaker_gauge = function Closed -> 0. | Half_open -> 1. | Open -> 2.
+
 let set_brk t b =
   if t.brk <> b then begin
-    if Obs.enabled () then
+    if Obs.enabled () then begin
       Obs.instant ~cat:"transport"
         ~attrs:
           [ ("from", breaker_to_string t.brk); ("to", breaker_to_string b);
             ("profile", t.prof.pname) ]
         "transport.breaker";
+      Obs.Metrics.set_gauge "transport.breaker_state" (breaker_gauge b)
+    end;
     t.brk <- b
   end
 
@@ -172,7 +185,12 @@ let read_succeeded t =
 
 let set_deadline t d = t.deadline_ms <- d
 let deadline t = t.deadline_ms
-let begin_plot t = t.spent_ms <- 0.
+
+let begin_plot t =
+  t.spent_ms <- 0.;
+  if Obs.enabled () then
+    Obs.Metrics.set_gauge "transport.breaker_state" (breaker_gauge t.brk)
+
 let budget_spent t = t.spent_ms
 
 let deadline_exceeded t =
@@ -186,7 +204,15 @@ let fetch_raw t ~bytes perform =
     t.deadline_hits <- t.deadline_hits + 1;
     Error Deadline_exceeded
   end
-  else begin
+  else
+    match (match t.gate with Some g -> g ~bytes | None -> None) with
+    | Some err ->
+        (* refused by the session server's admission gate (per-session
+           read/deadline budget spent): no wire traffic, no breaker
+           accounting — the link itself is fine *)
+        t.deadline_hits <- t.deadline_hits + 1;
+        Error err
+    | None -> begin
     (* breaker gate: Open refuses outright until the cooldown elapses,
        then lets exactly one probe through in Half_open *)
     (if t.brk = Open && t.clock_ms >= t.half_open_at then set_brk t Half_open);

@@ -103,7 +103,21 @@ val profile_of : t -> profile
 val link : t -> link
 val breaker : t -> breaker
 val set_faults : t -> faults -> unit
+
+val faults_of : t -> faults
+(** The current fault configuration (a session server swaps it per
+    session while that session's traffic runs). *)
+
 val set_policy : t -> policy -> unit
+
+val set_gate : t -> (bytes:int -> error option) option -> unit
+(** Install (or clear) an admission gate consulted by {!fetch} before
+    any wire attempt. Returning [Some err] refuses the read — the
+    perform thunk never runs, nothing is charged, and the breaker's
+    failure streak is untouched (the {e link} is healthy; the {e
+    caller's budget} is not). This is where a session server enforces
+    per-session read/deadline budgets at the fetch boundary. Gate
+    refusals are counted as [deadline_hits]. *)
 
 val disconnect : t -> unit
 (** Force the link down (what a crashed target or unplugged serial cable

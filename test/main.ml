@@ -20,4 +20,5 @@ let () =
       ("render+panel", Test_render_panel.suite);
       ("vchat", Test_vchat.suite);
       ("json+protocol", Test_json_protocol.suite);
+      ("session", Test_session.suite);
       ("integration", Test_visualinux.suite) ]
