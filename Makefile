@@ -6,7 +6,7 @@
 # rates), lints formatting, and does one full bench iteration so that a
 # broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke obs-smoke bench-compare fmt-check ci check clean
+.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke campaign-smoke obs-smoke bench-compare fmt-check ci check clean
 
 all:
 	dune build @all
@@ -65,6 +65,18 @@ session-smoke: all
 	dune exec bench/main.exe -- --sessions 4 --fault-rate 0.2 --seed 7
 	@echo "session-smoke: ok"
 
+# Campaign smoke (ISSUE 7): the two committed chaos campaigns, with
+# their expect-gates asserted in-process — flap_recover (hard outages
+# on a replica-less target: quarantine, [STALE] service, bounded TTR)
+# then gray_ramp (a gray-failure ramp hedged to a healthy replica
+# before the breaker opens, byte-identity asserted).  gray_ramp runs
+# last so BENCH_campaign.json holds its numbers, which bench-compare
+# then gates on.
+campaign-smoke: all
+	dune exec bench/main.exe -- --campaign campaigns/flap_recover.campaign --seed 7
+	dune exec bench/main.exe -- --campaign campaigns/gray_ramp.campaign --seed 7
+	@echo "campaign-smoke: ok"
+
 # Wall-clock regression guard: fresh BENCH_smoke.json vs. the committed
 # baseline (25% relative budget with an absolute slack floor).  Also
 # checks the BENCH_sessions.json artifact from session-smoke for
@@ -85,7 +97,7 @@ fmt-check:
 		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
 	else echo "fmt-check: clean"; fi
 
-ci: all test bench-smoke session-smoke bench-compare chaos-smoke perf-smoke obs-smoke fmt-check
+ci: all test bench-smoke session-smoke campaign-smoke bench-compare chaos-smoke perf-smoke obs-smoke fmt-check
 
 check: ci bench
 

@@ -951,6 +951,304 @@ let sessions_bench ~n ~rate ~rounds ~seed =
     \ and every refusal a typed Rejected; all gates asserted)"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos campaigns (ISSUE 7): a scripted fault timeline from a committed
+   .campaign file, run twice on identically-seeded twin fleets — live
+   (wire events armed) and control (all-healthy wires; kernel-level
+   events like bit-flip storms fire in both so the kernels stay twins).
+   Per phase we record availability, op latency and [STALE]/[BROKEN]/
+   [TORN] box counts; after the last `recover` we record time-to-
+   recovery; the script's `expect` lines are asserted at the end — the
+   campaign-smoke CI gate. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let count_sub text sub =
+  let nt = String.length text and ns = String.length sub in
+  let c = ref 0 in
+  for i = 0 to nt - ns do
+    if String.sub text i ns = sub then incr c
+  done;
+  !c
+
+type phase_stats = {
+  mutable att : int;  (* ops attempted *)
+  mutable adm : int;  (* ops admitted *)
+  mutable pms : float list;  (* admitted op costs *)
+  mutable stale : int;  (* [STALE] boxes rendered *)
+  mutable broken : int;  (* [BROKEN ...] boxes rendered *)
+  mutable torn : int;  (* [TORN] boxes rendered *)
+}
+
+let campaign_bench ~file ~seed =
+  let module C = Workload.Campaign in
+  let c = C.parse (read_file file) in
+  section
+    (Printf.sprintf "Campaign %S: %d sessions on %s, %d ops, kgdb_rpi400 (seed %d)" c.C.cname
+       c.C.csessions
+       (String.concat "+" c.C.ctargets)
+       c.C.cops seed);
+  List.iter
+    (fun (mark, ev) -> Printf.printf "  at %-4d %s\n" mark (C.event_to_string ev))
+    c.C.events;
+  let n = c.C.csessions in
+  let home = List.hd c.C.ctargets in
+  let own_figs =
+    List.filter_map Scripts.find [ "3-6"; "7-1"; "11-1"; "16-2"; "proc2vfs"; "8-2" ]
+  in
+  let own_fig i = List.nth own_figs (i mod List.length own_figs) in
+  let outage = { Transport.stall_rate = 0.; drop_rate = 0.; disconnect_rate = 1. } in
+  (* campaign weather is gray failure: stalls and drops, never a
+     spontaneous disconnect — `link_down` is the explicit outage event *)
+  let gray r = { Transport.stall_rate = r; drop_rate = r; disconnect_rate = 0. } in
+  (* One run of the scripted timeline.  [live] arms the wire events; the
+     control run drives the same ops over all-healthy wires. *)
+  let run ~live =
+    let kernel = Kstate.boot () in
+    let w = Workload.create kernel in
+    Workload.run w;
+    let srv = Session.create ~capacity:n kernel in
+    let trs =
+      List.mapi
+        (fun i t ->
+          let tr = Transport.create ~seed:(seed + i) Target.kgdb_rpi400 in
+          Session.add_target srv ~transport:tr t;
+          (t, tr))
+        c.C.ctargets
+    in
+    let tr_of t =
+      match List.assoc_opt t trs with
+      | Some tr -> tr
+      | None -> failwith (Printf.sprintf "campaign: unknown target %S" t)
+    in
+    let sids =
+      List.init n (fun i ->
+          match
+            Session.open_session
+              ~budget:(Session.budget ~retry_burst:8 ())
+              ~weight:(C.weight_at c i) ~target:home srv
+              (Printf.sprintf "s%d" (i + 1))
+          with
+          | Session.Admitted sid -> sid
+          | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
+    in
+    let mem = Target.mem (Option.get (Session.vis srv (List.hd sids))).Visualinux.target in
+    (* setup (not part of the measured timeline): every session plots its
+       own figure; the op loop then refreshes them with the read cache
+       off so every admitted op is real wire work *)
+    let panes =
+      List.mapi
+        (fun i sid ->
+          match Session.vplot srv sid (own_fig i).Scripts.source with
+          | Session.Admitted (p, _, _) -> (sid, (p.Panel.pid, own_fig i))
+          | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
+        sids
+    in
+    Target.set_read_cache
+      (Option.get (Session.vis srv (List.hd sids))).Visualinux.target
+      false;
+    let phases_rev = ref [] in
+    let cur = ref { att = 0; adm = 0; pms = []; stale = 0; broken = 0; torn = 0 } in
+    phases_rev := [ ("start", !cur) ];
+    let unhealthy = ref 0 and stale_serves = ref 0 and rejections = ref 0 in
+    let recover_mark = ref None and ttr = ref None in
+    let hedge_checked = ref false in
+    let solo =
+      lazy
+        (let s = Visualinux.attach kernel in
+         Target.set_read_cache s.Visualinux.target false;
+         s)
+    in
+    let solo_txt (sc : Scripts.script) =
+      let s = Lazy.force solo in
+      canonical (Viewcl.run ~cfg:s.Visualinux.cfg s.Visualinux.target sc.Scripts.source).Viewcl.graph
+    in
+    let fire op ev =
+      if live then Printf.printf "  [op %d] %s\n%!" op (C.event_to_string ev);
+      match ev with
+      | C.Phase p ->
+          cur := { att = 0; adm = 0; pms = []; stale = 0; broken = 0; torn = 0 };
+          phases_rev := (p, !cur) :: !phases_rev
+      | C.Link_down t ->
+          if live then begin
+            Transport.set_base_faults (tr_of t) outage;
+            Transport.disconnect (tr_of t)
+          end
+      | C.Link_up t ->
+          if live then begin
+            Transport.set_base_faults (tr_of t) Transport.no_faults;
+            Transport.reconnect (tr_of t)
+          end
+      | C.Fault_rate (t, r) -> if live then Transport.set_base_faults (tr_of t) (gray r)
+      | C.Bit_flip_storm _ ->
+          (* kernel-level: fires in both runs, so the twins stay twins *)
+          Kmem.inject_read_failures mem ~seed 0.25
+      | C.Recover t ->
+          Kmem.clear_injection mem;
+          if live then begin
+            let tr = tr_of t in
+            Transport.set_base_faults tr Transport.no_faults;
+            if Transport.link tr = Transport.Down || Transport.breaker tr <> Transport.Closed
+            then Transport.reconnect tr;
+            recover_mark := Some op;
+            ttr := None
+          end
+    in
+    let timed sid f =
+      let w0 = Session.wire_ms srv sid in
+      let t0 = Unix.gettimeofday () in
+      let out = f () in
+      (out, ((Unix.gettimeofday () -. t0) *. 1000.) +. (Session.wire_ms srv sid -. w0))
+    in
+    let drive op =
+      let i = (op - 1) mod n in
+      (* the workload's own structure surgery cannot run over a memory
+         whose reads are failing — a real kernel would have oopsed too;
+         mutation resumes at `recover` (symmetric in both runs, so the
+         twin kernels stay aligned) *)
+      if i = 0 && not (Kmem.injection_active mem) then Workload.step w;
+      let sid = List.nth sids i in
+      let pane, sc = List.assoc sid panes in
+      let h0 = Session.counter srv sid "hedged.ops" in
+      !cur.att <- !cur.att + 1;
+      (match timed sid (fun () -> Session.vrefresh srv sid ~pane) with
+      | Session.Admitted r, ms ->
+          !cur.adm <- !cur.adm + 1;
+          !cur.pms <- ms :: !cur.pms;
+          (* hedged-read identity, checked once at the first hedged op:
+             the bytes served from the replica must equal a cache-off
+             solo extraction of the same program — and the sick home
+             wire's breaker must never have tripped (the reroute beat
+             it), which is the ISSUE 7 acceptance gate *)
+          if
+            live && (not !hedge_checked)
+            && Session.counter srv sid "hedged.ops" > h0
+            && not (Kmem.injection_active mem)
+          then begin
+            hedge_checked := true;
+            assert ((Transport.snapshot (tr_of home)).Transport.breaker_trips = 0);
+            match r with
+            | Some (res, _) -> assert (canonical res.Viewcl.graph = solo_txt sc)
+            | None -> assert false
+          end
+      | Session.Rejected _, _ ->
+          incr rejections;
+          ignore (Session.render srv sid pane);
+          incr stale_serves);
+      (match Session.render srv sid pane with
+      | Some txt ->
+          !cur.stale <- !cur.stale + count_sub txt "[STALE]";
+          !cur.broken <- !cur.broken + count_sub txt "[BROKEN";
+          !cur.torn <- !cur.torn + count_sub txt "[TORN]"
+      | None -> ());
+      if Session.target_health srv home <> `Healthy then incr unhealthy;
+      match !recover_mark with
+      | Some r0 when !ttr = None && Session.target_health srv home = `Healthy ->
+          ttr := Some (op - r0 + 1)
+      | _ -> ()
+    in
+    for op = 1 to c.C.cops do
+      List.iter (fire op) (C.events_at c op);
+      drive op
+    done;
+    (* recovery non-vacuity: if the last `recover` has not yet drained
+       back to Healthy, keep driving (bounded) — TTR must exist *)
+    (match !recover_mark with
+    | Some _ when !ttr = None ->
+        let extra = ref 0 in
+        while Session.target_health srv home <> `Healthy && !extra < 8 * n do
+          incr extra;
+          drive (c.C.cops + !extra)
+        done
+    | _ -> ());
+    let hedged =
+      List.fold_left (fun a sid -> a + Session.counter srv sid "hedged.ops") 0 sids
+    in
+    let canaries =
+      List.fold_left (fun a sid -> a + Session.counter srv sid "canaries") 0 sids
+    in
+    ( List.rev !phases_rev, !unhealthy, !ttr, hedged, canaries, !stale_serves, !rejections,
+      Session.target_health srv home )
+  in
+  let base_phases, _, _, base_hedged, _, _, _, _ = run ~live:false in
+  let phases, unhealthy, ttr, hedged, canaries, stale_serves, rejections, end_health =
+    run ~live:true
+  in
+  assert (base_hedged = 0);
+  let pool ph = List.concat_map (fun (_, st) -> st.pms) ph in
+  let live_p95 = percentile 0.95 (pool phases) in
+  let base_p95 = percentile 0.95 (pool base_phases) in
+  let ratio = live_p95 /. Float.max 0.001 base_p95 in
+  Printf.printf "\n%-12s %5s %5s %6s %8s %8s %6s %7s %5s\n" "phase" "ops" "adm" "avail"
+    "p50-ms" "p95-ms" "stale" "broken" "torn";
+  let avail st = float_of_int st.adm /. float_of_int (max 1 st.att) in
+  List.iter
+    (fun (p, st) ->
+      if st.att > 0 then
+        Printf.printf "%-12s %5d %5d %5.0f%% %8.1f %8.1f %6d %7d %5d\n" p st.att st.adm
+          (100. *. avail st) (percentile 0.5 st.pms) (percentile 0.95 st.pms) st.stale
+          st.broken st.torn)
+    phases;
+  Printf.printf
+    "\nlive p95 %.1f ms vs all-healthy twin %.1f ms (%.2fx); %d unhealthy ops, %d hedged, \
+     %d canaries\n"
+    live_p95 base_p95 ratio unhealthy hedged canaries;
+  Printf.printf "%d rejections -> %d [STALE] serves; time-to-recovery %s; end state %s\n"
+    rejections stale_serves
+    (match ttr with Some t -> Printf.sprintf "%d ops" t | None -> "n/a (no recover event)")
+    (match end_health with
+    | `Healthy -> "healthy"
+    | `Degraded -> "degraded"
+    | `Quarantine _ -> "quarantine"
+    | `Probation _ -> "probation");
+  if Obs.enabled () then begin
+    Obs.Metrics.set_gauge "campaign.p95_ratio" ratio;
+    Obs.Metrics.set_gauge "campaign.live_p95_ms" live_p95;
+    Obs.Metrics.set_gauge "campaign.base_p95_ms" base_p95;
+    Obs.Metrics.set_gauge "campaign.unhealthy_ops" (float_of_int unhealthy);
+    Obs.Metrics.set_gauge "campaign.hedged_ops" (float_of_int hedged);
+    Obs.Metrics.set_gauge "campaign.stale_serves" (float_of_int stale_serves);
+    Option.iter
+      (fun t -> Obs.Metrics.set_gauge "campaign.ttr_ops" (float_of_int t))
+      ttr;
+    List.iter
+      (fun (p, st) ->
+        if st.att > 0 then
+          Obs.Metrics.set_gauge (Printf.sprintf "campaign.availability.%s" p) (avail st))
+      phases
+  end;
+  (* the expect gates, straight from the script *)
+  List.iter
+    (fun (key, v) ->
+      let ok, got =
+        match key with
+        | "p95_ratio" -> (live_p95 <= (v *. base_p95) +. 0.5, ratio)
+        | "ttr_ops" -> (
+            match ttr with
+            | Some t -> (t <= int_of_float v, float_of_int t)
+            | None -> (false, nan))
+        | "unhealthy_ops" -> (unhealthy >= int_of_float v, float_of_int unhealthy)
+        | "hedged_ops" -> (hedged >= int_of_float v, float_of_int hedged)
+        | _ -> (
+            match String.index_opt key '.' with
+            | Some i when String.sub key 0 i = "availability" -> (
+                let p = String.sub key (i + 1) (String.length key - i - 1) in
+                match List.assoc_opt p phases with
+                | Some st -> (avail st >= v, avail st)
+                | None -> (false, nan))
+            | _ -> failwith (Printf.sprintf "campaign: unknown expect key %S" key))
+      in
+      Printf.printf "expect %-24s %-8g got %-8.3f %s\n" key v got (if ok then "ok" else "FAIL");
+      assert ok)
+    c.C.expects;
+  (* the campaign must always end healed when it scripted a recovery *)
+  if c.C.expects <> [] && List.mem_assoc "ttr_ops" c.C.expects then
+    assert (end_health = `Healthy)
+
+(* ------------------------------------------------------------------ *)
 
 let bench_span name f = Obs.with_span ~cat:"bench" ("bench." ^ name) f
 
@@ -992,11 +1290,20 @@ let () =
   let fault_arg = get "--fault-rate" args in
   let repeat_arg = get "--repeat-plot" args in
   let sessions_arg = get "--sessions" args in
-  if chaos_arg = None && fault_arg = None && repeat_arg = None && sessions_arg = None then
-    Obs.set_ring_capacity (1 lsl 19);
+  let campaign_arg = get "--campaign" args in
+  if
+    chaos_arg = None && fault_arg = None && repeat_arg = None && sessions_arg = None
+    && campaign_arg = None
+  then Obs.set_ring_capacity (1 lsl 19);
   let mode =
-    match (sessions_arg, chaos_arg, fault_arg, repeat_arg) with
-    | Some ns, _, _, _ ->
+    match (campaign_arg, sessions_arg, chaos_arg, fault_arg, repeat_arg) with
+    | Some file, _, _, _, _ ->
+        let seed =
+          Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
+        in
+        bench_span "campaign" (fun () -> campaign_bench ~file ~seed);
+        "campaign"
+    | None, Some ns, _, _, _ ->
         let n = max 2 (int_of_string ns) in
         let rate =
           Option.value (Option.map float_of_string (get "--fault-rate" args)) ~default:0.2
@@ -1009,14 +1316,14 @@ let () =
         in
         bench_span "sessions" (fun () -> sessions_bench ~n ~rate ~rounds ~seed);
         "sessions"
-    | None, Some rs, _, _ ->
+    | None, None, Some rs, _, _ ->
         let rates = List.map float_of_string (String.split_on_char ',' rs) in
         let seed =
           Option.value (Option.map int_of_string (get "--seed" args)) ~default:0xC4405
         in
         bench_span "chaos" (fun () -> chaos ~rates ~seed);
         "chaos"
-    | None, None, Some rs, _ ->
+    | None, None, None, Some rs, _ ->
         let rates = List.map float_of_string (String.split_on_char ',' rs) in
         let profile =
           profile_of_name (Option.value (get "--profile" args) ~default:"kgdb_rpi400")
@@ -1028,14 +1335,14 @@ let () =
         bench_span "degradation" (fun () ->
             degradation ~rates ~profile ~deadline_ms ~seed);
         "smoke"
-    | None, None, None, Some it ->
+    | None, None, None, None, Some it ->
         let iters = max 1 (int_of_string it) in
         let seed =
           Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
         in
         bench_span "repeat" (fun () -> repeat_plot ~iters ~seed);
         "repeat"
-    | None, None, None, None ->
+    | None, None, None, None, None ->
         full_suite ();
         "full"
   in

@@ -202,8 +202,10 @@ the shared target link — a refusal prints a typed reason, never a crash):
   session close <id>     close a session (not the last one)
   session budget reads <n|off>    per-epoch read budget, this session
   session budget ms <n|off>       per-epoch wire-time budget (sim ms)
+  session budget retries <n|off>  retry-token bucket (1 earned per op)
+  session weight <n>     fair-admission priority (higher sheds later)
   session epoch          open a fresh budget/cache-stat epoch
-  server status          targets, breaker/quarantine state, sessions
+  server status          targets, health/EWMA, breaker state, sessions
   server save <file>     snapshot every session's journal (the fleet)
   server recover <file>  replay a fleet snapshot into this server
   link                   show transport health
@@ -573,12 +575,31 @@ let repl_cmd =
           in
           Session.set_budget srv !cur { b with Session.max_sim_ms };
           Ok ()
+      | [ "session"; "budget"; "retries"; v ] ->
+          let b = Option.value (Session.budget_of srv !cur) ~default:Session.unlimited in
+          let* retry_burst =
+            if v = "off" then Ok None
+            else
+              let* n = int_of v "a retry-token count" in
+              Ok (Some n)
+          in
+          Session.set_budget srv !cur { b with Session.retry_burst };
+          Ok ()
+      | [ "session"; "weight"; v ] ->
+          let* w = int_of v "a priority weight" in
+          Session.set_weight srv !cur w;
+          Printf.printf "session %d weight %d (degrades %s under a sick target)\n" !cur
+            (Session.weight_of srv !cur)
+            (if Session.weight_of srv !cur > 1 then "later" else "first");
+          Ok ()
       | [ "session"; "epoch" ] ->
           Session.begin_epoch srv !cur;
           Printf.printf "session %d: fresh epoch (budgets and cache stats reset)\n" !cur;
           Ok ()
       | "session" :: _ ->
-          Error "usage: session new <name> [rate] | list | use <id> | close <id> | budget reads|ms <n|off> | epoch"
+          Error
+            "usage: session new <name> [rate] | list | use <id> | close <id> | budget \
+             reads|ms|retries <n|off> | weight <n> | epoch"
       | [ "server"; "status" ] ->
           print_string (Session.status srv);
           Ok ()

@@ -18,11 +18,14 @@ type budget = {
   max_reads : int option;
   max_sim_ms : float option;
   plot_deadline_ms : float option;
+  retry_burst : int option;
 }
 
-let unlimited = { max_reads = None; max_sim_ms = None; plot_deadline_ms = None }
-let budget ?max_reads ?max_sim_ms ?plot_deadline_ms () =
-  { max_reads; max_sim_ms; plot_deadline_ms }
+let unlimited =
+  { max_reads = None; max_sim_ms = None; plot_deadline_ms = None; retry_burst = None }
+
+let budget ?max_reads ?max_sim_ms ?plot_deadline_ms ?retry_burst () =
+  { max_reads; max_sim_ms; plot_deadline_ms; retry_burst }
 
 (* ------------------------------------------------------------------ *)
 (* Admission *)
@@ -34,6 +37,7 @@ type reason =
   | Reads_exhausted of { used : int; limit : int }
   | Budget_exhausted of { used_ms : float; limit_ms : float }
   | Quarantined of { target : string; prober : sid }
+  | Shed of { target : string; deficit : int }
 
 let reason_to_string = function
   | Capacity { limit } -> Printf.sprintf "capacity: server full (%d sessions)" limit
@@ -45,22 +49,32 @@ let reason_to_string = function
       Printf.sprintf "wire budget exhausted (%.1f/%.1f ms this epoch)" used_ms limit_ms
   | Quarantined { target; prober } ->
       Printf.sprintf "target %S quarantined; session %d is probing" target prober
+  | Shed { target; deficit } ->
+      Printf.sprintf "target %S degraded; load shed (%d credit short)" target deficit
 
 type 'a outcome = Admitted of 'a | Rejected of { reason : reason }
 
 (* ------------------------------------------------------------------ *)
 (* Server state *)
 
-(* Quarantine/probation bookkeeping for one shared target. *)
+(* Quarantine/probation/degradation bookkeeping for one shared target. *)
 type qstate = { mutable prober : sid; mutable probes : int }
 type pstate = { mutable waiting : sid list; mutable skips : int }
-type tstate = Healthy | Quarantine of qstate | Probation of pstate
+
+(* Degraded: the wire's fault EWMA crossed the degrade threshold but the
+   target is still serving.  Without a replica, load is shed by weighted
+   credits (see [degradation_route]); [credits] holds each session's
+   accumulated deficit counter. *)
+type dstate = { credits : (sid, int) Hashtbl.t }
+
+type tstate = Healthy | Degraded of dstate | Quarantine of qstate | Probation of pstate
 
 type shared = {
   tname : string;
   target : Target.t;
   mutable state : tstate;
   mutable rr : int;  (* round-robin cursor for prober election *)
+  mutable hsince : int;  (* admitted ops since the last state transition *)
 }
 
 type sess = {
@@ -70,6 +84,8 @@ type sess = {
   shared : shared;
   mutable sfaults : Transport.faults;  (* swapped onto the link per op *)
   mutable sbudget : budget;
+  mutable weight : int;  (* fair-admission priority weight, >= 1 *)
+  mutable rb_tokens : int;  (* retry-budget tokens left (when capped) *)
   mutable sreads : int;  (* reads charged this epoch *)
   mutable ssim_ms : float;  (* wire ms charged this epoch *)
   mutable flog_rev : Target.fault list;  (* per-session fault journal, newest first *)
@@ -100,7 +116,8 @@ let create ?(capacity = 8) kernel =
       targets = Hashtbl.create 4; torder = [] }
   in
   Hashtbl.replace srv.targets default_target
-    { tname = default_target; target = Khelpers.attach kernel; state = Healthy; rr = 0 };
+    { tname = default_target; target = Khelpers.attach kernel; state = Healthy; rr = 0;
+      hsince = 0 };
   srv.torder <- [ default_target ];
   srv
 
@@ -109,12 +126,13 @@ let add_target srv ?transport name =
     invalid_arg (Printf.sprintf "Session.add_target: duplicate target %S" name);
   let target = Khelpers.attach srv.kernel in
   Option.iter (Target.set_transport target) transport;
-  Hashtbl.replace srv.targets name { tname = name; target; state = Healthy; rr = 0 };
+  Hashtbl.replace srv.targets name
+    { tname = name; target; state = Healthy; rr = 0; hsince = 0 };
   srv.torder <- srv.torder @ [ name ]
 
 let target_names srv = srv.torder
 
-type health = [ `Healthy | `Quarantine of sid | `Probation of sid list ]
+type health = [ `Healthy | `Degraded | `Quarantine of sid | `Probation of sid list ]
 
 let shared_of srv name =
   match Hashtbl.find_opt srv.targets name with
@@ -124,6 +142,7 @@ let shared_of srv name =
 let target_health srv name : health =
   match (shared_of srv name).state with
   | Healthy -> `Healthy
+  | Degraded _ -> `Degraded
   | Quarantine q -> `Quarantine q.prober
   | Probation p -> `Probation p.waiting
 
@@ -172,25 +191,26 @@ let sessions_gauge srv =
   if Obs.enabled () then
     Obs.Metrics.set_gauge "server.sessions" (float_of_int (Hashtbl.length srv.sessions))
 
-let mk_session srv ~sid ~budget ~faults ~tname name =
+let mk_session srv ~sid ~budget ~faults ~weight ~tname name =
   let sh = shared_of srv tname in
   let vis = Visualinux.attach ~target:sh.target srv.kernel in
   let sess =
-    { sid; name; vis; shared = sh; sfaults = faults; sbudget = budget; sreads = 0;
-      ssim_ms = 0.; flog_rev = []; tab = Hashtbl.create 16 }
+    { sid; name; vis; shared = sh; sfaults = faults; sbudget = budget;
+      weight = max 1 weight; rb_tokens = Option.value ~default:0 budget.retry_burst;
+      sreads = 0; ssim_ms = 0.; flog_rev = []; tab = Hashtbl.create 16 }
   in
   Hashtbl.replace srv.sessions sid sess;
   if sid >= srv.next_sid then srv.next_sid <- sid + 1;
   sessions_gauge srv;
   sess
 
-let open_session ?(budget = unlimited) ?(faults = Transport.no_faults)
+let open_session ?(budget = unlimited) ?(faults = Transport.no_faults) ?(weight = 1)
     ?(target = default_target) srv name =
   if not (Hashtbl.mem srv.targets target) then Rejected { reason = Unknown_target target }
   else if Hashtbl.length srv.sessions >= srv.cap then
     Rejected { reason = Capacity { limit = srv.cap } }
   else begin
-    let sess = mk_session srv ~sid:srv.next_sid ~budget ~faults ~tname:target name in
+    let sess = mk_session srv ~sid:srv.next_sid ~budget ~faults ~weight ~tname:target name in
     if Obs.enabled () then
       Obs.instant ~cat:"session"
         ~attrs:[ ("sid", string_of_int sess.sid); ("name", name); ("target", target) ]
@@ -208,6 +228,7 @@ let close_session srv sid =
       (* drop the departed session from recovery bookkeeping *)
       (match sh.state with
       | Healthy -> ()
+      | Degraded d -> Hashtbl.remove d.credits sid
       | Quarantine q when q.prober = sid -> (
           match live_sids_on srv sh with
           | [] -> sh.state <- Healthy
@@ -228,7 +249,11 @@ let session_name srv sid =
 let vis srv sid = Option.map (fun s -> s.vis) (Hashtbl.find_opt srv.sessions sid)
 
 let set_budget srv sid b =
-  Option.iter (fun s -> s.sbudget <- b) (Hashtbl.find_opt srv.sessions sid)
+  Option.iter
+    (fun s ->
+      s.sbudget <- b;
+      s.rb_tokens <- Option.value ~default:0 b.retry_burst)
+    (Hashtbl.find_opt srv.sessions sid)
 
 let budget_of srv sid =
   Option.map (fun s -> s.sbudget) (Hashtbl.find_opt srv.sessions sid)
@@ -236,11 +261,21 @@ let budget_of srv sid =
 let set_faults srv sid f =
   Option.iter (fun s -> s.sfaults <- f) (Hashtbl.find_opt srv.sessions sid)
 
+let set_weight srv sid w =
+  Option.iter (fun s -> s.weight <- max 1 w) (Hashtbl.find_opt srv.sessions sid)
+
+let weight_of srv sid =
+  match Hashtbl.find_opt srv.sessions sid with None -> 1 | Some s -> s.weight
+
+let retry_tokens srv sid =
+  match Hashtbl.find_opt srv.sessions sid with None -> 0 | Some s -> s.rb_tokens
+
 let begin_epoch srv sid =
   Option.iter
     (fun s ->
       s.sreads <- 0;
       s.ssim_ms <- 0.;
+      s.rb_tokens <- Option.value ~default:0 s.sbudget.retry_burst;
       List.iter (Hashtbl.remove s.tab) [ "cache.hits"; "cache.misses"; "cache.coalesced" ];
       bump s "epochs")
     (Hashtbl.find_opt srv.sessions sid)
@@ -270,6 +305,7 @@ let enter_quarantine srv sh =
   | None -> sh.state <- Healthy
   | Some prober ->
       sh.state <- Quarantine { prober; probes = 0 };
+      sh.hsince <- 0;
       obs_state sh "quarantine.enter";
       Hashtbl.iter
         (fun sid s ->
@@ -279,27 +315,58 @@ let enter_quarantine srv sh =
           end)
         srv.sessions
 
+let enter_degraded sh =
+  sh.state <- Degraded { credits = Hashtbl.create 8 };
+  sh.hsince <- 0;
+  obs_state sh "degrade.enter"
+
 let link_bad tr = Transport.link tr = Transport.Down || Transport.breaker tr = Transport.Open
 
 let link_recovered tr =
   Transport.link tr = Transport.Up && Transport.breaker tr = Transport.Closed
 
+let th = Transport.Health.default_thresholds
+
 (* Advance the target's state from what [sess]'s (admitted) op left on
-   the shared link. *)
+   the shared link: the hard breaker/link signals still force
+   quarantine, but the graduated path is driven by the wire's fault
+   EWMA through {!Transport.Health.step} — Healthy -> Degraded when the
+   EWMA crosses [degrade_hi], Degraded -> Quarantine at [sick_hi] with
+   the breaker still Closed (the proactive shed the gray-failure regime
+   needs), and quarantine is only left once the EWMA has decayed back
+   under [sick_lo], so one lucky probe cannot re-admit the herd. *)
 let update_health srv sh sess =
   match Target.transport sh.target with
   | None -> ()
   | Some tr -> (
+      sh.hsince <- sh.hsince + 1;
+      let fr = (Transport.ewma tr).Transport.ew_fault_rate in
       match sh.state with
-      | Healthy -> if link_bad tr then enter_quarantine srv sh
+      | Healthy ->
+          if link_bad tr then enter_quarantine srv sh
+          else if
+            Transport.Health.step th Transport.Health.Fine ~fr ~since:sh.hsince
+            <> Transport.Health.Fine
+          then enter_degraded sh
+      | Degraded _ ->
+          if link_bad tr then enter_quarantine srv sh
+          else (
+            match Transport.Health.step th Transport.Health.Degraded ~fr ~since:sh.hsince with
+            | Transport.Health.Fine ->
+                sh.state <- Healthy;
+                sh.hsince <- 0;
+                obs_state sh "degrade.exit"
+            | Transport.Health.Sick -> enter_quarantine srv sh
+            | Transport.Health.Degraded -> ())
       | Quarantine q ->
-          if link_recovered tr then begin
+          if link_recovered tr && fr <= th.Transport.Health.sick_lo then begin
             (* recovered: re-admit the waiting sessions one op at a
                time, in sid order — fair, staggered, no herd *)
             let others = List.filter (fun s -> s <> q.prober) (live_sids_on srv sh) in
             (match others with
             | [] -> sh.state <- Healthy
             | waiting -> sh.state <- Probation { waiting; skips = 0 });
+            sh.hsince <- 0;
             obs_state sh "quarantine.exit"
           end
           else if sess.sid = q.prober then begin
@@ -317,57 +384,135 @@ let update_health srv sh sess =
           else (
             (* every admitted op on the target re-admits one waiter *)
             match p.waiting with
-            | [] -> sh.state <- Healthy
-            | _ :: [] -> sh.state <- Healthy
+            | [] | [ _ ] ->
+                sh.state <- Healthy;
+                sh.hsince <- 0
             | _ :: rest -> p.waiting <- rest))
 
-(* Admission against the target's degradation state.  The elected
-   prober passes (its traffic is the probe); the head of a probation
-   queue passes (and is thereby re-admitted); everyone else is refused
-   and should serve stale renders instead. *)
-let degradation_block sh sess =
+(* A healthy stand-in for a sick target: another registered target with
+   a live wire (transportless locals are never hedge candidates).  All
+   targets attach the same kernel image, so a hedged read returns the
+   exact bytes the home target would have — the campaign bench asserts
+   the rendered panes byte-identical. *)
+let healthy_replica srv sh =
+  List.find_map
+    (fun name ->
+      let cand = Hashtbl.find srv.targets name in
+      if
+        cand != sh && cand.state = Healthy
+        &&
+        match Target.transport cand.target with
+        | Some tr -> link_recovered tr
+        | None -> false
+      then Some cand
+      else None)
+    srv.torder
+
+(* The probe read, charged to the acting session: bring a dead link /
+   open breaker back to Half_open first (a refused fetch charges
+   nothing, so cooldown alone never elapses), then fire one 8-byte
+   canary under the session's own fault config.  The canary's reads and
+   wire ms land on the session's epoch budget — a Half_open breaker's
+   probe is real traffic, not free — and its outcome feeds the wire's
+   health EWMA, which is what eventually satisfies the quarantine-exit
+   decay gate. *)
+let fire_canary sess sh =
+  match Target.transport sh.target with
+  | None -> ()
+  | Some tr ->
+      if link_bad tr then Transport.reconnect tr;
+      let saved = Transport.faults_of tr in
+      let s0 = Transport.snapshot tr in
+      Transport.set_faults tr sess.sfaults;
+      Transport.set_deadline tr None;
+      Transport.begin_plot tr;
+      ignore (Transport.fetch tr ~bytes:8 (fun () -> ()));
+      Transport.set_faults tr saved;
+      let s1 = Transport.snapshot tr in
+      let dr = s1.Transport.reads_ok - s0.Transport.reads_ok in
+      sess.sreads <- sess.sreads + dr;
+      sess.ssim_ms <- sess.ssim_ms +. (s1.Transport.sim_ms -. s0.Transport.sim_ms);
+      bump ~by:dr sess "reads";
+      bump sess "canaries"
+
+(* Weighted fair shedding on a degraded target with no replica: each
+   knock earns the session [weight] credits and an op is admitted when
+   the balance covers the stride (twice the mean weight across the
+   target's sessions), so a weight-w session is refused at most
+   [ceil(stride/w)] times in a row — the starvation bound the tests
+   pin — while admission frequency stays proportional to weight. *)
+let shed_stride srv sh =
+  let sids = live_sids_on srv sh in
+  let total =
+    List.fold_left
+      (fun acc sid ->
+        acc + match Hashtbl.find_opt srv.sessions sid with None -> 1 | Some s -> s.weight)
+      0 sids
+  in
+  max 1 (2 * total / max 1 (List.length sids))
+
+(* Where an admitted op's wire traffic goes. *)
+type route = Home | Hedged of shared
+
+(* Admission + routing against the target's degradation state.  Healthy
+   serves at home; Degraded hedges to a healthy replica when one exists
+   (firing a canary through the sick wire so its EWMA keeps learning)
+   and weight-fair-sheds when none does; Quarantine serves everyone from
+   the replica if there is one, else only the elected prober passes;
+   Probation re-admits one waiter per op as before. *)
+let degradation_route srv sh sess : (route, reason) result =
   match sh.state with
-  | Healthy -> None
+  | Healthy -> Ok Home
+  | Degraded d -> (
+      match healthy_replica srv sh with
+      | Some rep ->
+          fire_canary sess sh;
+          Ok (Hedged rep)
+      | None ->
+          let bal =
+            sess.weight + Option.value ~default:0 (Hashtbl.find_opt d.credits sess.sid)
+          in
+          let stride = shed_stride srv sh in
+          if bal >= stride then begin
+            Hashtbl.replace d.credits sess.sid (bal - stride);
+            Ok Home
+          end
+          else begin
+            Hashtbl.replace d.credits sess.sid bal;
+            Error (Shed { target = sh.tname; deficit = stride - bal })
+          end)
   | Quarantine q ->
       if sess.sid = q.prober then begin
-        (* the probe: bring a dead link back up / resync an open breaker
-           to Half_open (a refused fetch charges nothing, so cooldown
-           alone never elapses), then fire a canary read under the
-           prober's own fault config — the op itself may be served
-           entirely from the read cache, and an untested Half_open
-           breaker must not count as recovery *)
-        (match Target.transport sh.target with
-        | Some tr ->
-            if Transport.link tr = Transport.Down || Transport.breaker tr = Transport.Open
-            then Transport.reconnect tr;
-            let saved = Transport.faults_of tr in
-            Transport.set_faults tr sess.sfaults;
-            Transport.set_deadline tr None;
-            Transport.begin_plot tr;
-            ignore (Transport.fetch tr ~bytes:8 (fun () -> ()));
-            Transport.set_faults tr saved
-        | None -> ());
-        None
+        fire_canary sess sh;
+        (* the prober's own op rides the replica when one exists — the
+           canary above is the probe; no need to risk the whole op on
+           the sick wire *)
+        match healthy_replica srv sh with Some rep -> Ok (Hedged rep) | None -> Ok Home
       end
-      else Some (Quarantined { target = sh.tname; prober = q.prober })
+      else (
+        match healthy_replica srv sh with
+        | Some rep -> Ok (Hedged rep)
+        | None -> Error (Quarantined { target = sh.tname; prober = q.prober }))
   | Probation p -> (
       match p.waiting with
       | [] ->
           sh.state <- Healthy;
-          None
+          Ok Home
       | head :: rest ->
-          if sess.sid = head || not (List.mem sess.sid p.waiting) then None
-          else begin
-            (* a non-head waiter knocked: count it, and once every
-               waiter has been turned away rotate the head so a silent
-               head cannot starve the queue *)
-            p.skips <- p.skips + 1;
-            if p.skips > List.length p.waiting then begin
-              p.waiting <- rest @ [ head ];
-              p.skips <- 0
-            end;
-            Some (Quarantined { target = sh.tname; prober = List.hd p.waiting })
-          end)
+          if sess.sid = head || not (List.mem sess.sid p.waiting) then Ok Home
+          else (
+            match healthy_replica srv sh with
+            | Some rep -> Ok (Hedged rep)
+            | None ->
+                (* a non-head waiter knocked: count it, and once every
+                   waiter has been turned away rotate the head so a
+                   silent head cannot starve the queue *)
+                p.skips <- p.skips + 1;
+                if p.skips > List.length p.waiting then begin
+                  p.waiting <- rest @ [ head ];
+                  p.skips <- 0
+                end;
+                Error (Quarantined { target = sh.tname; prober = List.hd p.waiting })))
 
 let budget_block sess =
   match sess.sbudget.max_reads with
@@ -382,15 +527,57 @@ let budget_block sess =
 (* ------------------------------------------------------------------ *)
 (* The isolated op wrapper *)
 
-(* Swap the session's fault config, deadline and budget gate onto the
-   shared transport, run [f], then capture this op's deltas (faults,
-   reads, wire ms, cache stats) into the session's private accounting —
-   restoring the link's config on every path. *)
-let run_isolated srv sess f =
+let health_gauges sh =
+  if Obs.enabled () then begin
+    (match Target.transport sh.target with
+    | Some tr ->
+        let e = Transport.ewma tr in
+        Obs.Metrics.set_gauge
+          (Printf.sprintf "health.%s.ewma_fault_rate" sh.tname)
+          e.Transport.ew_fault_rate;
+        Obs.Metrics.set_gauge
+          (Printf.sprintf "health.%s.ewma_latency_ms" sh.tname)
+          e.Transport.ew_latency_ms
+    | None -> ());
+    Obs.Metrics.set_gauge
+      (Printf.sprintf "health.%s.state" sh.tname)
+      (match sh.state with
+      | Healthy -> 0.
+      | Degraded _ -> 1.
+      | Quarantine _ -> 2.
+      | Probation _ -> 3.)
+  end
+
+let quarantined_gauge srv =
+  if Obs.enabled () then begin
+    let n =
+      Hashtbl.fold
+        (fun _ sh acc -> match sh.state with Quarantine _ -> acc + 1 | _ -> acc)
+        srv.targets 0
+    in
+    Obs.Metrics.set_gauge "session.quarantined_targets" (float_of_int n)
+  end
+
+(* Swap the session's fault config, deadline, budget gate and retry
+   budget onto the op's transport (the home link, or — when [route] says
+   [Hedged] — the healthy replica's), run [f], then capture this op's
+   deltas (faults, reads, wire ms, cache stats) into the session's
+   private accounting — restoring the link's config, and the home
+   transport on a hedged op, on every path {e before} the health update
+   reads the home wire's state. *)
+let run_isolated srv ~route sess f =
   let sh = sess.shared in
   let tgt = sh.target in
+  let home_tr = Target.transport tgt in
+  (match route with
+  | Hedged rep -> Option.iter (Target.set_transport tgt) (Target.transport rep.target)
+  | Home -> ());
   let tr_opt = Target.transport tgt in
   let saved_faults = Option.map Transport.faults_of tr_opt in
+  (* token-bucket refill: one retry token earned per op, up to the cap *)
+  (match sess.sbudget.retry_burst with
+  | Some cap -> if sess.rb_tokens < cap then sess.rb_tokens <- sess.rb_tokens + 1
+  | None -> ());
   let snap0 =
     match tr_opt with Some tr -> Some (Transport.snapshot tr) | None -> None
   in
@@ -402,6 +589,20 @@ let run_isolated srv sess f =
     (fun tr ->
       Transport.set_faults tr sess.sfaults;
       Transport.set_deadline tr sess.sbudget.plot_deadline_ms;
+      Transport.set_retry_gate tr
+        (match sess.sbudget.retry_burst with
+        | None -> None
+        | Some _ ->
+            Some
+              (fun () ->
+                if sess.rb_tokens > 0 then begin
+                  sess.rb_tokens <- sess.rb_tokens - 1;
+                  true
+                end
+                else begin
+                  bump sess "retry.denied";
+                  false
+                end));
       let op_reads = ref 0 in
       let sim0 = (Transport.snapshot tr).Transport.sim_ms in
       Transport.set_gate tr
@@ -450,9 +651,17 @@ let run_isolated srv sess f =
     Option.iter
       (fun tr ->
         Transport.set_gate tr None;
+        Transport.set_retry_gate tr None;
         Option.iter (Transport.set_faults tr) saved_faults)
       tr_opt;
-    update_health srv sh sess
+    (match route with
+    | Hedged _ ->
+        bump sess "hedged.ops";
+        Option.iter (Target.set_transport tgt) home_tr
+    | Home -> ());
+    update_health srv sh sess;
+    health_gauges sh;
+    quarantined_gauge srv
   in
   match f () with
   | x ->
@@ -472,12 +681,12 @@ let admit srv sid kind f =
           bump sess "rejections";
           Rejected { reason }
       | None -> (
-          match degradation_block sess.shared sess with
-          | Some reason ->
+          match degradation_route srv sess.shared sess with
+          | Error reason ->
               bump sess "rejections";
               Rejected { reason }
-          | None ->
-              let r = run_isolated srv sess (fun () -> f sess) in
+          | Ok route ->
+              let r = run_isolated srv ~route sess (fun () -> f sess) in
               bump sess kind;
               Admitted r))
 
@@ -521,17 +730,18 @@ let faults_json (f : Transport.faults) =
 let budget_json b =
   let opt_i = function None -> "null" | Some n -> string_of_int n in
   let opt_f = function None -> "null" | Some x -> Printf.sprintf "%g" x in
-  Printf.sprintf "{\"max_reads\":%s,\"max_sim_ms\":%s,\"plot_deadline_ms\":%s}"
+  Printf.sprintf "{\"max_reads\":%s,\"max_sim_ms\":%s,\"plot_deadline_ms\":%s,\"retry_burst\":%s}"
     (opt_i b.max_reads) (opt_f b.max_sim_ms) (opt_f b.plot_deadline_ms)
+    (opt_i b.retry_burst)
 
 let save_fleet srv =
   let one sid =
     let sess = Hashtbl.find srv.sessions sid in
     Printf.sprintf
-      "{\"sid\":%d,\"name\":\"%s\",\"target\":\"%s\",\"budget\":%s,\"faults\":%s,\"jn\":%s}"
+      "{\"sid\":%d,\"name\":\"%s\",\"target\":\"%s\",\"weight\":%d,\"budget\":%s,\"faults\":%s,\"jn\":%s}"
       sid (Vgraph.json_escape sess.name)
       (Vgraph.json_escape sess.shared.tname)
-      (budget_json sess.sbudget) (faults_json sess.sfaults)
+      sess.weight (budget_json sess.sbudget) (faults_json sess.sfaults)
       (Panel.journal_to_json sess.vis.Visualinux.panel)
   in
   Printf.sprintf "{\"fleet\":[%s]}"
@@ -542,7 +752,7 @@ let budget_of_json j =
     | Some (Json.Int n) -> Some (float_of_int n) | _ -> None in
   let i k = match Json.member k j with Some (Json.Int n) -> Some n | _ -> None in
   { max_reads = i "max_reads"; max_sim_ms = f "max_sim_ms";
-    plot_deadline_ms = f "plot_deadline_ms" }
+    plot_deadline_ms = f "plot_deadline_ms"; retry_burst = i "retry_burst" }
 
 let faults_of_json j =
   let f k d =
@@ -572,12 +782,15 @@ let recover_fleet srv json =
         | Some f -> faults_of_json f
         | None -> Transport.no_faults
       in
+      let weight =
+        match Json.member "weight" e with Some (Json.Int w) -> w | _ -> 1
+      in
       let ops =
         match Json.member "jn" e with
         | Some jn -> Panel.journal_of_json (Json.to_string jn)
         | None -> []
       in
-      match open_session ~budget ~faults ~target:tname srv name with
+      match open_session ~budget ~faults ~weight ~target:tname srv name with
       | Rejected r -> Rejected r
       | Admitted sid -> (
           match
@@ -614,14 +827,23 @@ let status srv =
       let state =
         match sh.state with
         | Healthy -> "healthy"
+        | Degraded _ -> "DEGRADED (shedding/hedging)"
         | Quarantine q -> Printf.sprintf "QUARANTINE (session %d probing)" q.prober
         | Probation p ->
             Printf.sprintf "probation (waiting: %s)"
               (String.concat "," (List.map string_of_int p.waiting))
       in
+      let ewma_s =
+        match Target.transport sh.target with
+        | None -> ""
+        | Some tr ->
+            let e = Transport.ewma tr in
+            Printf.sprintf " | ewma fault %.3f, lat %.2f ms" e.Transport.ew_fault_rate
+              e.Transport.ew_latency_ms
+      in
       let cs = Target.cache_stats sh.target in
-      Printf.bprintf b "target %-8s [%s] %s | cache %d hit / %d miss\n" tname link state
-        cs.Target.hits cs.Target.misses)
+      Printf.bprintf b "target %-8s [%s] %s | cache %d hit / %d miss%s\n" tname link state
+        cs.Target.hits cs.Target.misses ewma_s)
     srv.torder;
   List.iter
     (fun sid ->
@@ -636,9 +858,9 @@ let status srv =
                    Option.map (fun l -> Printf.sprintf "%.1f/%.1f ms" sess.ssim_ms l) m ])
       in
       Printf.bprintf b
-        "session %d %-10s on %s | %d plots, %d faults, %d rejections | budget %s\n" sid
+        "session %d %-10s on %s w%d | %d plots, %d faults, %d rejections | budget %s\n" sid
         (Printf.sprintf "%S" sess.name)
-        sess.shared.tname
+        sess.shared.tname sess.weight
         (Option.value ~default:0 (Hashtbl.find_opt sess.tab "plots"))
         (Option.value ~default:0 (Hashtbl.find_opt sess.tab "faults"))
         (Option.value ~default:0 (Hashtbl.find_opt sess.tab "rejections"))

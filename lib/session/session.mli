@@ -26,6 +26,20 @@
     panes from their caches; once the probe succeeds the waiting
     sessions are re-admitted one per op (no thundering herd).
 
+    {e Adaptive health} (this layer): the wire's fault EWMA
+    ({!Transport.ewma}) drives a {e graduated} Healthy -> Degraded ->
+    Quarantined state machine with hysteresis
+    ({!Transport.Health.step}), so a gray-failing target is shed or
+    rerouted {e before} its breaker ever opens.  On a Degraded target,
+    load is shed by weighted fair credits (high-{!set_weight} sessions
+    degrade last, with a [ceil(stride/weight)] starvation bound); when
+    another registered target exposes the same kernel image over a
+    healthy wire, ops are {e hedged} to it instead — byte-identical
+    renders, asserted by the campaign bench.  Retries are governed by a
+    per-session token bucket ([retry_burst]), so a sickening target
+    cannot provoke a retry storm; an exhausted bucket degrades the read
+    to a [Timed_out] fault, never an exception.
+
     {e Crash-safe fleet recovery}: {!save_fleet} serializes every
     session's op journal; {!recover_fleet} replays them into a fresh
     server, reproducing each session's pane and box ids. *)
@@ -40,10 +54,20 @@ type budget = {
   max_reads : int option;  (** transport reads per epoch *)
   max_sim_ms : float option;  (** simulated wire ms per epoch *)
   plot_deadline_ms : float option;  (** per-plot transport deadline *)
+  retry_burst : int option;
+      (** retry-token bucket capacity: each op earns one token (up to
+          the cap, refilled in full by {!begin_epoch}) and every retry
+          of a dropped reply spends one; an empty bucket degrades the
+          read to a [Timed_out] fault via
+          {!Transport.error.Deadline_exceeded}.  [None] = unlimited
+          retries (the pre-budget behaviour). *)
 }
 
 val unlimited : budget
-val budget : ?max_reads:int -> ?max_sim_ms:float -> ?plot_deadline_ms:float -> unit -> budget
+
+val budget :
+  ?max_reads:int -> ?max_sim_ms:float -> ?plot_deadline_ms:float -> ?retry_burst:int ->
+  unit -> budget
 
 (* ------------------------------------------------------------------ *)
 (** {1 Admission} *)
@@ -60,6 +84,11 @@ type reason =
   | Quarantined of { target : string; prober : sid }
       (** the target is quarantined and this session is not the elected
           prober (or not yet re-admitted from probation) *)
+  | Shed of { target : string; deficit : int }
+      (** the target is degraded with no healthy replica to hedge to,
+          and this session's fair-share credits don't yet cover the
+          stride; [deficit] is how far short — it shrinks by [weight]
+          per knock, bounding refusals at [ceil(stride/weight)] *)
 
 val reason_to_string : reason -> string
 
@@ -84,8 +113,11 @@ val add_target : server -> ?transport:Transport.t -> string -> unit
 
 val target_names : server -> string list
 
-(** A shared target's degradation state, as seen from outside. *)
-type health = [ `Healthy | `Quarantine of sid | `Probation of sid list ]
+(** A shared target's degradation state, as seen from outside.
+    [`Degraded] is the graduated middle state: still serving, but
+    shedding load (or hedging to a replica) while the fault EWMA is
+    above the degrade threshold. *)
+type health = [ `Healthy | `Degraded | `Quarantine of sid | `Probation of sid list ]
 
 val target_health : server -> string -> health
 (** @raise Invalid_argument on unknown targets. *)
@@ -94,10 +126,14 @@ val target_health : server -> string -> health
 (** {1 Session lifecycle} *)
 
 val open_session :
-  ?budget:budget -> ?faults:Transport.faults -> ?target:string -> server -> string -> sid outcome
+  ?budget:budget -> ?faults:Transport.faults -> ?weight:int -> ?target:string ->
+  server -> string -> sid outcome
 (** Admit a named session onto [target] (default ["t0"]).  [faults] is
     the fault configuration {e this session's} traffic runs under on
-    the shared link (default {!Transport.no_faults}). *)
+    the shared link (default {!Transport.no_faults}); [weight]
+    (default 1, clamped to >= 1) is its fair-admission priority —
+    higher-weight sessions are shed later and less often on a degraded
+    target. *)
 
 val close_session : server -> sid -> unit
 (** Idempotent; a closed prober or probation entry is dropped from its
@@ -112,14 +148,24 @@ val vis : server -> sid -> Visualinux.session option
     the server's accounting and isolation; use the wrappers below. *)
 
 val set_budget : server -> sid -> budget -> unit
+(** Also resets the retry-token bucket to the new [retry_burst]. *)
+
 val budget_of : server -> sid -> budget option
 val set_faults : server -> sid -> Transport.faults -> unit
 
+val set_weight : server -> sid -> int -> unit
+(** Clamped to >= 1. *)
+
+val weight_of : server -> sid -> int
+
+val retry_tokens : server -> sid -> int
+(** Retry-budget tokens left (0 when unlimited or unknown). *)
+
 val begin_epoch : server -> sid -> unit
 (** Open a fresh budget/cache-stat epoch for the session: resets its
-    read and wire-time spend and its [cache.*] counters, bumps the
-    [epochs] counter.  Cumulative counters ([plots], [faults], ...)
-    survive. *)
+    read and wire-time spend, refills its retry-token bucket, and
+    resets its [cache.*] counters, bumps the [epochs] counter.
+    Cumulative counters ([plots], [faults], ...) survive. *)
 
 (* ------------------------------------------------------------------ *)
 (** {1 v-commands, isolated and accounted} *)
@@ -159,9 +205,13 @@ val counters : server -> sid -> (string * int) list
 (** The session's private counter namespace, sorted by name: [plots],
     [refreshes], [ctrls], [reads], [faults], [cache.hits],
     [cache.misses], [cache.coalesced], [rejections], [budget.refusals],
-    [probes], [stale.renders], [epochs], [recovers].  Only this
-    session's ops move them.  Mirrored as Obs counters
-    [session.<sid>.<name>] when profiling is on. *)
+    [probes], [canaries], [hedged.ops], [retry.denied],
+    [stale.renders], [epochs], [recovers].  Only this session's ops
+    move them.  Mirrored as Obs counters [session.<sid>.<name>] when
+    profiling is on.  Per-target health is mirrored as Obs {e gauges}:
+    [health.<target>.ewma_fault_rate], [health.<target>.ewma_latency_ms],
+    [health.<target>.state] (0 healthy / 1 degraded / 2 quarantine /
+    3 probation) and [session.quarantined_targets]. *)
 
 val counter : server -> sid -> string -> int
 (** 0 when absent (or the session is unknown). *)

@@ -76,7 +76,8 @@ type t = {
   prof : profile;
   seed : int;
   mutable policy : policy;
-  mutable faults : faults;
+  mutable faults : faults;  (* per-session overlay (swapped per op) *)
+  mutable base_faults : faults;  (* the wire's own weather *)
   mutable rng : int;
   mutable link : link;
   mutable brk : breaker;
@@ -88,6 +89,15 @@ type t = {
   mutable gate : (bytes:int -> error option) option;
       (* session-server admission hook: consulted (and charged) on every
          fetch before the wire is touched *)
+  mutable retry_gate : (unit -> bool) option;
+      (* retry-budget hook: consulted before every retry; [false] denies
+         the retry and the read degrades like an exhausted deadline *)
+  (* wire-health EWMAs: per-attempt fault rate and latency, moved only
+     by wire-attributed outcomes (base faults and clean reads) — a
+     session's own overlay faults say nothing about the link *)
+  mutable ew_fault : float;
+  mutable ew_lat : float;
+  mutable ew_n : int;
   (* counters *)
   mutable reads_ok : int;
   mutable attempts : int;
@@ -99,22 +109,86 @@ type t = {
   mutable breaker_trips : int;
   mutable short_circuits : int;
   mutable deadline_hits : int;
+  mutable retry_denials : int;
 }
 
 let create ?(seed = 0x9e3779b9) ?(policy = default_policy) ?(faults = no_faults) prof =
-  { prof; seed; policy; faults; rng = seed; link = Up; brk = Closed; consec_failures = 0;
+  { prof; seed; policy; faults; base_faults = no_faults; rng = seed; link = Up;
+    brk = Closed; consec_failures = 0;
     half_open_at = 0.; clock_ms = 0.; spent_ms = 0.; deadline_ms = None; gate = None;
+    retry_gate = None; ew_fault = 0.; ew_lat = 0.; ew_n = 0;
     reads_ok = 0;
     attempts = 0; retries = 0; stalls = 0; drops = 0; disconnects = 0; reconnects = 0;
-    breaker_trips = 0; short_circuits = 0; deadline_hits = 0 }
+    breaker_trips = 0; short_circuits = 0; deadline_hits = 0; retry_denials = 0 }
 
 let profile_of t = t.prof
 let link t = t.link
 let breaker t = t.brk
 let set_faults t f = t.faults <- f
 let faults_of t = t.faults
+let set_base_faults t f = t.base_faults <- f
+let base_faults_of t = t.base_faults
 let set_policy t p = t.policy <- p
 let set_gate t g = t.gate <- g
+let set_retry_gate t g = t.retry_gate <- g
+
+(* ------------------------------------------------------------------ *)
+(* Wire-health EWMA *)
+
+let ewma_alpha = 0.1
+
+(* One EWMA step: decay toward 0 on a clean outcome, toward 1 on a
+   fault.  Pure, so the decay law is unit-testable. *)
+let ewma_step x ~ok = ((1. -. ewma_alpha) *. x) +. (if ok then 0. else ewma_alpha)
+
+type ewma = { ew_fault_rate : float; ew_latency_ms : float; ew_samples : int }
+
+let ewma t = { ew_fault_rate = t.ew_fault; ew_latency_ms = t.ew_lat; ew_samples = t.ew_n }
+
+let note_wire t ~ok ~ms =
+  t.ew_fault <- ewma_step t.ew_fault ~ok;
+  t.ew_lat <-
+    (if t.ew_n = 0 then ms else ((1. -. ewma_alpha) *. t.ew_lat) +. (ewma_alpha *. ms));
+  t.ew_n <- t.ew_n + 1
+
+(* Graduated health grades over the fault EWMA, with hysteresis: each
+   band is entered at its [_hi] threshold and left at its (lower) [_lo]
+   threshold, and no transition fires until [window] observations have
+   accumulated since the last one — so the grade cannot flap inside one
+   window however the EWMA wiggles. *)
+module Health = struct
+  type grade = Fine | Degraded | Sick
+
+  type thresholds = {
+    degrade_hi : float;
+    degrade_lo : float;
+    sick_hi : float;
+    sick_lo : float;
+    window : int;
+  }
+
+  let default_thresholds =
+    { degrade_hi = 0.15; degrade_lo = 0.05; sick_hi = 0.45; sick_lo = 0.25; window = 8 }
+
+  let grade_to_string = function
+    | Fine -> "healthy"
+    | Degraded -> "degraded"
+    | Sick -> "sick"
+
+  let step th g ~fr ~since =
+    if since < th.window then g
+    else
+      match g with
+      | Fine -> if fr >= th.degrade_hi then Degraded else Fine
+      | Degraded ->
+          if fr >= th.sick_hi then Sick
+          else if fr <= th.degrade_lo then Fine
+          else Degraded
+      | Sick ->
+          if fr <= th.degrade_lo then Fine
+          else if fr <= th.sick_lo then Degraded
+          else Sick
+end
 
 let charge t ms =
   t.clock_ms <- t.clock_ms +. ms;
@@ -230,6 +304,7 @@ let fetch_raw t ~bytes perform =
           (* a dead link is detected after one timeout; retrying is
              pointless until an explicit reconnect *)
           charge t t.policy.read_timeout_ms;
+          note_wire t ~ok:false ~ms:t.policy.read_timeout_ms;
           fail Disconnected
         end
         else if deadline_exceeded t then begin
@@ -238,17 +313,42 @@ let fetch_raw t ~bytes perform =
         end
         else begin
           t.attempts <- t.attempts + 1;
-          let r = if any_faults t.faults then draw t else 1. in
-          if r < t.faults.disconnect_rate then begin
+          (* one draw decides the attempt's fate across both fault
+             configs; the segments put the wire's own (base) rates ahead
+             of the session overlay within each fault kind, so each
+             fired fault knows who caused it — only wire-attributed
+             outcomes feed the health EWMA.  A zero base collapses every
+             cutoff to the original single-config thresholds, so seeded
+             runs without base faults replay identically. *)
+          let bf = t.base_faults and sf = t.faults in
+          let r = if any_faults bf || any_faults sf then draw t else 1. in
+          let c1 = bf.disconnect_rate in
+          let c2 = c1 +. sf.disconnect_rate in
+          let c3 = c2 +. bf.drop_rate in
+          let c4 = c3 +. sf.drop_rate in
+          let c5 = c4 +. bf.stall_rate in
+          let c6 = c5 +. sf.stall_rate in
+          if r < c2 then begin
             t.link <- Down;
             t.disconnects <- t.disconnects + 1;
             charge t t.policy.read_timeout_ms;
+            if r < c1 then note_wire t ~ok:false ~ms:t.policy.read_timeout_ms;
             fail Disconnected
           end
-          else if r < t.faults.disconnect_rate +. t.faults.drop_rate then begin
+          else if r < c4 then begin
             t.drops <- t.drops + 1;
             charge t t.policy.read_timeout_ms;
+            if r < c3 then note_wire t ~ok:false ~ms:t.policy.read_timeout_ms;
             if n >= t.policy.max_retries then fail Retries_exhausted
+            else if not (match t.retry_gate with Some g -> g () | None -> true) then begin
+              (* the caller's retry budget is spent: degrade exactly like
+                 an exhausted deadline (a [Timed_out] fault upstairs, no
+                 breaker accounting — the budget refused, not the link),
+                 instead of piling more retries onto a sick wire *)
+              t.retry_denials <- t.retry_denials + 1;
+              t.deadline_hits <- t.deadline_hits + 1;
+              Error Deadline_exceeded
+            end
             else begin
               t.retries <- t.retries + 1;
               let retry () =
@@ -263,14 +363,17 @@ let fetch_raw t ~bytes perform =
             end
           end
           else begin
-            let stalled =
-              r < t.faults.disconnect_rate +. t.faults.drop_rate +. t.faults.stall_rate
-            in
+            let stalled = r < c6 in
             if stalled then begin
               t.stalls <- t.stalls + 1;
-              charge t t.policy.read_timeout_ms
+              charge t t.policy.read_timeout_ms;
+              if r < c5 then note_wire t ~ok:false ~ms:t.policy.read_timeout_ms
             end
-            else charge t (t.prof.rtt_ms +. (float_of_int bytes *. t.prof.byte_ms));
+            else begin
+              let ms = t.prof.rtt_ms +. (float_of_int bytes *. t.prof.byte_ms) in
+              charge t ms;
+              note_wire t ~ok:true ~ms
+            end;
             read_succeeded t;
             t.reads_ok <- t.reads_ok + 1;
             Ok (perform ())
@@ -314,6 +417,7 @@ type snapshot = {
   breaker_trips : int;
   short_circuits : int;
   deadline_hits : int;
+  retry_denials : int;
   sim_ms : float;
   breaker_now : breaker;
   link_now : link;
@@ -323,8 +427,8 @@ let snapshot (t : t) =
   { reads_ok = t.reads_ok; attempts = t.attempts; retries = t.retries; stalls = t.stalls;
     drops = t.drops; disconnects = t.disconnects; reconnects = t.reconnects;
     breaker_trips = t.breaker_trips; short_circuits = t.short_circuits;
-    deadline_hits = t.deadline_hits; sim_ms = t.clock_ms; breaker_now = t.brk;
-    link_now = t.link }
+    deadline_hits = t.deadline_hits; retry_denials = t.retry_denials; sim_ms = t.clock_ms;
+    breaker_now = t.brk; link_now = t.link }
 
 let reset_counters (t : t) =
   t.reads_ok <- 0;
@@ -336,7 +440,8 @@ let reset_counters (t : t) =
   t.reconnects <- 0;
   t.breaker_trips <- 0;
   t.short_circuits <- 0;
-  t.deadline_hits <- 0
+  t.deadline_hits <- 0;
+  t.retry_denials <- 0
 
 let health_line t =
   let budget =

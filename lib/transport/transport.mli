@@ -108,7 +108,29 @@ val faults_of : t -> faults
 (** The current fault configuration (a session server swaps it per
     session while that session's traffic runs). *)
 
+val set_base_faults : t -> faults -> unit
+(** The wire's {e own} weather, composed with the per-session overlay:
+    one draw per attempt decides the outcome across both configs, with
+    the base rates ahead of the overlay within each fault kind, so every
+    fired fault is attributed to whichever config caused it.  Only
+    wire-attributed outcomes (base faults, and clean reads) move the
+    health EWMA — a session's synthetic fault storm says nothing about
+    the link.  Defaults to {!no_faults}, under which seeded runs replay
+    exactly as before this knob existed. *)
+
+val base_faults_of : t -> faults
+
 val set_policy : t -> policy -> unit
+
+val set_retry_gate : t -> (unit -> bool) option -> unit
+(** Install (or clear) a retry-budget hook consulted before every retry
+    of a dropped reply.  Returning [false] denies the retry: the read
+    fails with {!error.Deadline_exceeded} (degrading to a [Timed_out]
+    fault at the target, exactly like an exhausted deadline) with no
+    breaker accounting — the {e budget} refused, not the link.  Denials
+    are counted in [retry_denials].  This is where a session server
+    enforces per-session token-bucket retry budgets so a sickening
+    target cannot provoke a retry storm. *)
 
 val set_gate : t -> (bytes:int -> error option) option -> unit
 (** Install (or clear) an admission gate consulted by {!fetch} before
@@ -171,6 +193,7 @@ type snapshot = {
   breaker_trips : int;  (** transitions to [Open] *)
   short_circuits : int;  (** reads refused by an open breaker *)
   deadline_hits : int;  (** reads refused by an exhausted budget *)
+  retry_denials : int;  (** retries refused by the retry-budget gate *)
   sim_ms : float;  (** total simulated wire time ever charged *)
   breaker_now : breaker;
   link_now : link;
@@ -178,6 +201,58 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 val reset_counters : t -> unit
+
+(* ------------------------------------------------------------------ *)
+(** {1 Adaptive wire health} *)
+
+(** Exponentially weighted per-attempt health, fed by every
+    wire-attributed fetch outcome (see {!set_base_faults} for the
+    attribution rule): the fault EWMA steps toward 1 on a fault and
+    decays toward 0 on a clean read; the latency EWMA tracks the
+    simulated ms each observed attempt charged.  This is the gray-
+    failure detector: stalls and drops that never trip the breaker
+    (a stalled read still {e succeeds}) still raise the fault EWMA. *)
+type ewma = {
+  ew_fault_rate : float;  (** in [0,1]; 0 = perfectly clean *)
+  ew_latency_ms : float;
+  ew_samples : int;  (** observations so far *)
+}
+
+val ewma : t -> ewma
+
+val ewma_alpha : float
+(** The smoothing factor (0.1: a half-life of ~7 observations). *)
+
+val ewma_step : float -> ok:bool -> float
+(** One pure EWMA step: [(1-alpha)*x + alpha*(if ok then 0 else 1)].
+    Exposed so the decay law is unit-testable. *)
+
+(** Graduated health grades over the fault EWMA, with hysteresis: a
+    band is entered at its [_hi] threshold and only left at its lower
+    [_lo] threshold, and {!Health.step} refuses any transition until
+    [window] steps have passed since the last one — the grade cannot
+    flap within one window however the EWMA wiggles.  The session
+    server maps [Fine]/[Degraded]/[Sick] onto its
+    Healthy/Degraded/Quarantined target states. *)
+module Health : sig
+  type grade = Fine | Degraded | Sick
+
+  type thresholds = {
+    degrade_hi : float;  (** [Fine -> Degraded] at or above this *)
+    degrade_lo : float;  (** back to [Fine] at or below this *)
+    sick_hi : float;  (** [Degraded -> Sick] at or above this *)
+    sick_lo : float;  (** [Sick -> Degraded] at or below this *)
+    window : int;  (** min steps between any two transitions *)
+  }
+
+  val default_thresholds : thresholds
+  val grade_to_string : grade -> string
+
+  val step : thresholds -> grade -> fr:float -> since:int -> grade
+  (** [step th g ~fr ~since]: the next grade given the current fault
+      EWMA [fr] and [since] steps elapsed since the last transition.
+      Pure; returns [g] unchanged while [since < th.window]. *)
+end
 
 val health_line : t -> string
 (** One-line health summary for plot output, e.g.

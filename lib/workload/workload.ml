@@ -272,3 +272,128 @@ module Chaos = struct
   let disarm tgt = Target.set_read_hook tgt None
   let fired c = c.fired
 end
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns: scripted, deterministic fault timelines *)
+
+(** A chaos {e campaign} replaces the purely probabilistic chaos above
+    with a scripted timeline: named phases, and fault events fired when
+    the op counter reaches their mark.  The parser is pure (text in,
+    script out); execution lives in the bench driver, which owns the
+    targets.  Grammar (one directive per line, [#] comments):
+
+    {v
+    campaign <name>
+    targets <t1> [<t2> ...]
+    sessions <n>
+    weights <w1> [<w2> ...]          # per-session, pads with 1s
+    ops <n>                          # total ops driven per run
+    at <op> phase <name>             # label the ops from <op> on
+    at <op> link_down <target>
+    at <op> link_up <target>
+    at <op> fault_rate <target> <r>  # base wire weather at rate r
+    at <op> bit_flip_storm <target>  # memory corruption burst
+    at <op> recover <target>         # clear faults + injection, reconnect
+    expect <key> <float>             # gate checked by the bench
+    v} *)
+module Campaign = struct
+  type event =
+    | Phase of string
+    | Link_down of string
+    | Link_up of string
+    | Fault_rate of string * float
+    | Bit_flip_storm of string
+    | Recover of string
+
+  type t = {
+    cname : string;
+    ctargets : string list;
+    csessions : int;
+    cweights : int list;  (* padded with 1s at use sites *)
+    cops : int;
+    events : (int * event) list;  (* (op mark, event), marks ascending *)
+    expects : (string * float) list;
+  }
+
+  exception Parse_error of { line : int; msg : string }
+
+  let event_to_string = function
+    | Phase p -> Printf.sprintf "phase %s" p
+    | Link_down t -> Printf.sprintf "link_down %s" t
+    | Link_up t -> Printf.sprintf "link_up %s" t
+    | Fault_rate (t, r) -> Printf.sprintf "fault_rate %s %g" t r
+    | Bit_flip_storm t -> Printf.sprintf "bit_flip_storm %s" t
+    | Recover t -> Printf.sprintf "recover %s" t
+
+  let parse text =
+    let err ln msg = raise (Parse_error { line = ln; msg }) in
+    let flt ln s =
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> err ln (Printf.sprintf "%S is not a number" s)
+    in
+    let num ln s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> err ln (Printf.sprintf "%S is not a non-negative integer" s)
+    in
+    let name = ref "campaign" in
+    let targets = ref [] in
+    let sessions = ref 2 in
+    let weights = ref [] in
+    let ops = ref 100 in
+    let events = ref [] in
+    let expects = ref [] in
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line ->
+           let ln = i + 1 in
+           let line =
+             match String.index_opt line '#' with
+             | Some j -> String.sub line 0 j
+             | None -> line
+           in
+           let toks =
+             String.split_on_char ' ' line
+             |> List.concat_map (String.split_on_char '\t')
+             |> List.filter (fun s -> s <> "")
+           in
+           match toks with
+           | [] -> ()
+           | [ "campaign"; n ] -> name := n
+           | "targets" :: (_ :: _ as ts) -> targets := ts
+           | [ "sessions"; n ] -> sessions := num ln n
+           | "weights" :: (_ :: _ as ws) -> weights := List.map (num ln) ws
+           | [ "ops"; n ] -> ops := num ln n
+           | "at" :: mark :: rest ->
+               let mark = num ln mark in
+               let ev =
+                 match rest with
+                 | [ "phase"; p ] -> Phase p
+                 | [ "link_down"; t ] -> Link_down t
+                 | [ "link_up"; t ] -> Link_up t
+                 | [ "fault_rate"; t; r ] -> Fault_rate (t, flt ln r)
+                 | [ "bit_flip_storm"; t ] -> Bit_flip_storm t
+                 | [ "recover"; t ] -> Recover t
+                 | _ -> err ln "unknown event (want phase/link_down/link_up/fault_rate/bit_flip_storm/recover)"
+               in
+               events := (mark, ev) :: !events
+           | [ "expect"; k; v ] -> expects := (k, flt ln v) :: !expects
+           | w :: _ -> err ln (Printf.sprintf "unknown directive %S" w));
+    {
+      cname = !name;
+      ctargets = (match !targets with [] -> [ "t1" ] | ts -> ts);
+      csessions = max 1 !sessions;
+      cweights = !weights;
+      cops = max 1 !ops;
+      events = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events);
+      expects = List.rev !expects;
+    }
+
+  (* Events whose mark is exactly [op]; the bench fires these before
+     driving op number [op] (1-based). *)
+  let events_at c op = List.filter_map (fun (m, e) -> if m = op then Some e else None) c.events
+
+  (* The session weight for 0-based session index [i] (missing entries
+     default to 1, matching [open_session]'s default). *)
+  let weight_at c i = match List.nth_opt c.cweights i with Some w -> max 1 w | None -> 1
+end

@@ -72,3 +72,57 @@ module Chaos : sig
   val mutate : chaos -> unit
   (** Perform one mutation unconditionally (exposed for tests). *)
 end
+
+(** Deterministic chaos campaigns: a scripted fault timeline replacing
+    {!Chaos}'s probabilistic firing.  The module is a pure parser —
+    text in, script out; {e running} a campaign is the bench driver's
+    job ([bench --campaign <file>]), since it owns the server and its
+    targets.  Grammar, one directive per line ([#] starts a comment):
+
+    {v
+    campaign <name>
+    targets <t1> [<t2> ...]          # default: t1
+    sessions <n>                     # default: 2
+    weights <w1> [<w2> ...]          # per-session priority, pads with 1s
+    ops <n>                          # total driven ops, default 100
+    at <op> phase <name>             # label ops from <op> onward
+    at <op> link_down <target>
+    at <op> link_up <target>
+    at <op> fault_rate <target> <r>  # base wire weather at rate r
+    at <op> bit_flip_storm <target>  # memory-corruption burst
+    at <op> recover <target>         # clear faults/injection, reconnect
+    expect <key> <float>             # availability/p95/TTR gate
+    v} *)
+module Campaign : sig
+  type event =
+    | Phase of string
+    | Link_down of string
+    | Link_up of string
+    | Fault_rate of string * float
+    | Bit_flip_storm of string
+    | Recover of string
+
+  type t = {
+    cname : string;
+    ctargets : string list;
+    csessions : int;
+    cweights : int list;
+    cops : int;
+    events : (int * event) list;  (** [(op mark, event)], marks ascending *)
+    expects : (string * float) list;
+  }
+
+  exception Parse_error of { line : int; msg : string }
+
+  val parse : string -> t
+  (** @raise Parse_error with the 1-based line number on bad input. *)
+
+  val event_to_string : event -> string
+
+  val events_at : t -> int -> event list
+  (** The events scheduled exactly at (1-based) op [op] — fired by the
+      driver before that op runs. *)
+
+  val weight_at : t -> int -> int
+  (** Weight for 0-based session index [i]; 1 when unspecified. *)
+end

@@ -101,4 +101,40 @@ else
     fi
 fi
 
+# The ISSUE 7 campaign artifact (gray_ramp, written last by
+# campaign-smoke): the health machinery's headline numbers must be
+# present and sane — the expect-gates proper are asserted in-process
+# by the bench; here we re-check the recorded values as belt-and-braces
+# bounds.
+CAMP="BENCH_campaign.json"
+if [ ! -f "$CAMP" ]; then
+    echo "bench-compare: $CAMP missing (run make campaign-smoke first)"
+    fail=1
+else
+    for g in campaign.ttr_ops campaign.unhealthy_ops campaign.availability.recovered; do
+        grep -q "\"$g\":" "$CAMP" \
+            || { echo "bench-compare: $CAMP has no $g gauge"; fail=1; }
+    done
+    ratio=$(grep -o '"campaign.p95_ratio":[0-9.eE+-]*' "$CAMP" | cut -d: -f2)
+    if [ -z "$ratio" ]; then
+        echo "bench-compare: $CAMP has no campaign.p95_ratio gauge"
+        fail=1
+    else
+        awk -v r="$ratio" 'BEGIN {
+            printf "bench-compare: campaign.p95_ratio       %10.2f    (budget       1.30)\n", r;
+            exit (r > 1.30) ? 1 : 0;
+        }' || fail=1
+    fi
+    hedged=$(grep -o '"campaign.hedged_ops":[0-9.eE+-]*' "$CAMP" | cut -d: -f2)
+    if [ -z "$hedged" ]; then
+        echo "bench-compare: $CAMP has no campaign.hedged_ops gauge"
+        fail=1
+    else
+        awk -v h="$hedged" 'BEGIN {
+            printf "bench-compare: campaign.hedged_ops      %10.0f    (need     >= 1)\n", h;
+            exit (h >= 1) ? 0 : 1;
+        }' || fail=1
+    fi
+fi
+
 exit "$fail"

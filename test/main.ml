@@ -21,4 +21,5 @@ let () =
       ("vchat", Test_vchat.suite);
       ("json+protocol", Test_json_protocol.suite);
       ("session", Test_session.suite);
+      ("health", Test_health.suite);
       ("integration", Test_visualinux.suite) ]
