@@ -6,7 +6,7 @@
 # rates), lints formatting, and does one full bench iteration so that a
 # broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke campaign-smoke obs-smoke bench-compare fmt-check ci check clean
+.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke campaign-smoke obs-smoke slo-smoke bench-compare fmt-check ci check clean
 
 all:
 	dune build @all
@@ -90,6 +90,13 @@ bench-compare:
 obs-smoke: all
 	sh scripts/obs_smoke.sh
 
+# SLO burn-rate gate (ISSUE 8): the sessions bench's sick session must
+# burn its clean_reads error budget >= 1x while every healthy session
+# stays quiet, and histogram exemplars must carry trace ids.  Depends
+# on obs-smoke so the <= 2x overhead guard always runs alongside it.
+slo-smoke: all obs-smoke
+	sh scripts/slo_smoke.sh
+
 # No ocamlformat in the build image, so the formatting gate is a
 # whitespace lint: no tabs or trailing blanks in source files.
 fmt-check:
@@ -97,7 +104,7 @@ fmt-check:
 		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
 	else echo "fmt-check: clean"; fi
 
-ci: all test bench-smoke session-smoke campaign-smoke bench-compare chaos-smoke perf-smoke obs-smoke fmt-check
+ci: all test bench-smoke session-smoke campaign-smoke bench-compare chaos-smoke perf-smoke obs-smoke slo-smoke fmt-check
 
 check: ci bench
 

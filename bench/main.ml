@@ -718,6 +718,13 @@ let sessions_bench ~n ~rate ~rounds ~seed =
     (match Session.open_session srv "overflow" with
     | Session.Rejected { reason = Session.Capacity { limit } } -> assert (limit = n)
     | _ -> assert false);
+    (* fresh SLO windows per fleet: the session counters are global and
+       cumulative across the twin runs, and registration snapshots them,
+       so each run's burn rates are computed from its own deltas only *)
+    if Obs.enabled () then begin
+      Obs.Slo.clear ();
+      Session.register_slos srv
+    end;
     let sick_sid = List.hd sids in
     let costs = Hashtbl.create 8 in
     let record sid ms =
@@ -800,7 +807,10 @@ let sessions_bench ~n ~rate ~rounds ~seed =
                 incr stale_serves
           end;
           poll ())
-        healthy_first
+        healthy_first;
+      (* one SLO evaluation epoch per round: the fast window is exactly
+         one round of ops, the slow window the last eight *)
+      Obs.Slo.tick ()
     done;
     let cross =
       float_of_int !cross_hits /. float_of_int (max 1 !cross_reads)
@@ -933,7 +943,22 @@ let sessions_bench ~n ~rate ~rounds ~seed =
     Obs.Metrics.set_gauge "sessions.storm_p95_ms" storm_p95;
     Obs.Metrics.set_gauge "sessions.p95_ratio" (storm_p95 /. Float.max 0.001 base_p95);
     Obs.Metrics.set_gauge "sessions.cross_hit_rate" cross;
-    Obs.Metrics.set_gauge "sessions.fleet_recovered" (float_of_int (List.length sids2))
+    Obs.Metrics.set_gauge "sessions.fleet_recovered" (float_of_int (List.length sids2));
+    (* the storm fleet's SLO burn, as of its last evaluation epoch: the
+       sick session's clean_reads budget torches, the healthy ones stay
+       quiet — the slo-smoke gate asserts exactly this split from the
+       exported slo.* gauges *)
+    print_newline ();
+    print_string (Obs.Slo.report ());
+    List.iter
+      (fun sid ->
+        match Obs.Metrics.top_exemplar (Printf.sprintf "session.%d.op_ms" sid) with
+        | Some (tid, v) ->
+            Printf.printf "exemplar: s%d slowest-bucket op %.1f ms <- trace %d%s\n" sid v
+              tid
+              (if sid = sick_sid then " (sick)" else "")
+        | None -> ())
+      sids
   end;
   (* the session-smoke gate (ISSUE 6 acceptance): the baseline fleet is
      storm-free; the storm actually tripped the breaker and was refused
@@ -1035,6 +1060,14 @@ let campaign_bench ~file ~seed =
           | Session.Admitted sid -> sid
           | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
     in
+    (* SLOs evaluate over the live run only (the control twin drives the
+       same ops but its burn is definitionally zero); registering fresh
+       here snapshots the cumulative counters so the deltas are this
+       run's own *)
+    if live && Obs.enabled () then begin
+      Obs.Slo.clear ();
+      Session.register_slos srv
+    end;
     let mem = Target.mem (Option.get (Session.vis srv (List.hd sids))).Visualinux.target in
     (* setup (not part of the measured timeline): every session plots its
        own figure; the op loop then refreshes them with the read cache
@@ -1152,7 +1185,9 @@ let campaign_bench ~file ~seed =
     in
     for op = 1 to c.C.cops do
       List.iter (fire op) (C.events_at c op);
-      drive op
+      drive op;
+      (* one SLO epoch per full rotation of the fleet *)
+      if live && op mod n = 0 then Obs.Slo.tick ()
     done;
     (* recovery non-vacuity: if the last `recover` has not yet drained
        back to Healthy, keep driving (bounded) — TTR must exist *)
@@ -1218,7 +1253,13 @@ let campaign_bench ~file ~seed =
       (fun (p, st) ->
         if st.att > 0 then
           Obs.Metrics.set_gauge (Printf.sprintf "campaign.availability.%s" p) (avail st))
-      phases
+      phases;
+    print_newline ();
+    print_string (Obs.Slo.report ());
+    (match Obs.Metrics.top_exemplar "session.1.op_ms" with
+    | Some (tid, v) ->
+        Printf.printf "exemplar: s1 slowest-bucket op %.1f ms <- trace %d\n" v tid
+    | None -> ())
   end;
   (* the expect gates, straight from the script *)
   List.iter
@@ -1291,9 +1332,12 @@ let () =
   let repeat_arg = get "--repeat-plot" args in
   let sessions_arg = get "--sessions" args in
   let campaign_arg = get "--campaign" args in
+  (* campaign mode gets the big ring too: flow-event export skips links
+     whose endpoint spans were evicted, and the hedge-era spans must
+     survive to the end of the timeline for the Perfetto arrows *)
   if
-    chaos_arg = None && fault_arg = None && repeat_arg = None && sessions_arg = None
-    && campaign_arg = None
+    campaign_arg <> None
+    || (chaos_arg = None && fault_arg = None && repeat_arg = None && sessions_arg = None)
   then Obs.set_ring_capacity (1 lsl 19);
   let mode =
     match (campaign_arg, sessions_arg, chaos_arg, fault_arg, repeat_arg) with

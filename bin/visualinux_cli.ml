@@ -208,6 +208,8 @@ the shared target link — a refusal prints a typed reason, never a crash):
   server status          targets, health/EWMA, breaker state, sessions
   server save <file>     snapshot every session's journal (the fleet)
   server recover <file>  replay a fleet snapshot into this server
+  vtop [k]               live fleet dashboard: target health, session
+                         vitals, SLO burn rates, k slowest traces+links
   link                   show transport health
   link down | up         force-disconnect / reconnect the target link
   link rate <r>          THIS session's fault rates: stalls+drops at r,
@@ -220,6 +222,9 @@ the shared target link — a refusal prints a typed reason, never a crash):
   vprof on | off         enable/disable tracing and metrics collection
   vprof report           profile table, counters, histogram quantiles
   vprof export <file>    write buffered spans as Chrome trace JSON
+                         (span/trace ids + flow-event causal links)
+  vprof export --metrics <file>   write the metrics registry as JSON
+  vprof export --prom <file>      write a Prometheus text scrape
   vverify <pane>         run the structural sanitizer on a pane; suspect
                          boxes gain [SUSPECT:<law>] tags in later shows
   figures                list library figures
@@ -482,13 +487,26 @@ let repl_cmd =
           | Visualinux.Prof_text txt -> print_string txt
           | _ -> ());
           Ok ()
+      | [ "vprof"; "export"; "--metrics"; file ] ->
+          (match Visualinux.vprof s (Visualinux.Prof_export_metrics file) with
+          | Visualinux.Prof_written f -> Printf.printf "metrics written to %s\n" f
+          | _ -> ());
+          Ok ()
+      | [ "vprof"; "export"; "--prom"; file ] ->
+          (match Visualinux.vprof s (Visualinux.Prof_export_prom file) with
+          | Visualinux.Prof_written f -> Printf.printf "prometheus scrape written to %s\n" f
+          | _ -> ());
+          Ok ()
       | [ "vprof"; "export"; file ] ->
           (match Visualinux.vprof s (Visualinux.Prof_export file) with
           | Visualinux.Prof_written f ->
-              Printf.printf "trace written to %s (%d events)\n" f (Obs.event_count ())
+              Printf.printf "trace written to %s (%d events, %d links)\n" f
+                (Obs.event_count ())
+                (List.length (Obs.Trace.links ()))
           | _ -> ());
           Ok ()
-      | "vprof" :: _ -> Error "usage: vprof on|off|report|export <file>"
+      | "vprof" :: _ ->
+          Error "usage: vprof on|off|report|export [--metrics|--prom] <file>"
       | [ "vverify"; pane ] -> (
           let* p = pane_of pane in
           match Visualinux.vverify s ~pane:p.Panel.pid with
@@ -622,6 +640,20 @@ let repl_cmd =
             (Session.recover_fleet srv json);
           Ok ()
       | "server" :: _ -> Error "usage: server status | save <file> | recover <file>"
+      | "vtop" :: rest -> (
+          match rest with
+          | [] ->
+              Session.register_slos srv;
+              print_string (Session.vtop srv);
+              Ok ()
+          | [ k ] -> (
+              match int_of_string_opt k with
+              | Some top when top >= 0 ->
+                  Session.register_slos srv;
+                  print_string (Session.vtop ~top srv);
+                  Ok ()
+              | _ -> Error "usage: vtop [k]")
+          | _ -> Error "usage: vtop [k]")
       | w :: _ -> Error (Printf.sprintf "unknown command %S (try 'help')" w)
     in
     let rec loop () =

@@ -88,6 +88,7 @@ type plot_stats = {
   cache_hits : int;  (** boxes adopted from the previous plot of this pane *)
   cache_misses : int;  (** boxes built for the first time *)
   cache_invalidated : int;  (** stale cached boxes re-extracted in place *)
+  trace_id : int;  (** causal trace this extraction ran under (0 when off) *)
 }
 
 (** vplot: evaluate ViewCL source, open a primary pane with the plot. *)
@@ -96,12 +97,20 @@ let vplot s ?(title = "plot") src =
   Option.iter Transport.begin_plot (Target.transport s.target);
   let spans0 = Obs.spans_total () in
   let rel0 = Obs.since_epoch_ms () in
+  (* thread the ambient trace through the extraction; a standalone plot
+     (no session op around it) mints its own root trace *)
+  let tid =
+    if Obs.Trace.current () <> 0 then Obs.Trace.current () else Obs.Trace.mint ()
+  in
   let t0 = Obs.Clock.now_ms () in
   let res =
-    Obs.with_span ~cat:"core" ~attrs:[ ("title", title) ] "core.vplot" (fun () ->
-        Viewcl.run ~cfg:s.cfg s.target src)
+    Obs.Trace.with_trace tid (fun () ->
+        Obs.with_span ~cat:"core" ~attrs:[ ("title", title) ] "core.vplot" (fun () ->
+            Viewcl.run ~cfg:s.cfg s.target src))
   in
   let wall_ms = Obs.Clock.elapsed_ms t0 in
+  if Obs.enabled () then
+    Obs.Trace.with_trace tid (fun () -> Obs.Metrics.observe "core.plot_ms" wall_ms);
   let st = Target.stats s.target in
   Vgraph.set_title res.Viewcl.graph title;
   let pane = Panel.open_primary s.panel ~program:src res.Viewcl.graph in
@@ -117,7 +126,7 @@ let vplot s ?(title = "plot") src =
       reads = st.Target.reads; read_bytes = st.Target.bytes; wall_ms;
       link = Option.map Transport.snapshot (Target.transport s.target); spans; trace;
       cache_hits = res.Viewcl.cache_hits; cache_misses = res.Viewcl.cache_misses;
-      cache_invalidated = res.Viewcl.cache_invalidated }
+      cache_invalidated = res.Viewcl.cache_invalidated; trace_id = tid }
   in
   (pane, res, stats)
 
@@ -161,17 +170,25 @@ let vchat s ?llm ~pane text =
   (program, updated)
 
 (** vprof: the profiling v-command — toggle tracing, print the profile
-    report, or export the buffered events as Chrome trace JSON. *)
+    report, or export the buffered events (Chrome trace JSON), the
+    metrics registry (JSON) or a Prometheus text scrape to a file. *)
 type vprof =
   | Prof_on
   | Prof_off
   | Prof_report
   | Prof_export of string  (** destination file for the Chrome trace *)
+  | Prof_export_metrics of string  (** destination file for metrics JSON *)
+  | Prof_export_prom of string  (** destination file for Prometheus text *)
 
 type vprof_result =
   | Prof_state of bool  (** tracing now enabled? *)
   | Prof_text of string  (** the report *)
   | Prof_written of string  (** exported trace path *)
+
+let write_file file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc
 
 let vprof _s cmd =
   match cmd with
@@ -183,9 +200,13 @@ let vprof _s cmd =
       Prof_state false
   | Prof_report -> Prof_text (Obs.report ())
   | Prof_export file ->
-      let oc = open_out file in
-      output_string oc (Obs.chrome_trace ());
-      close_out oc;
+      write_file file (Obs.chrome_trace ());
+      Prof_written file
+  | Prof_export_metrics file ->
+      write_file file (Obs.metrics_json ());
+      Prof_written file
+  | Prof_export_prom file ->
+      write_file file (Obs.prometheus ());
       Prof_written file
 
 (** vverify: run the structural sanitizer ({!Sanity}) over a pane's
@@ -312,6 +333,10 @@ let vrefresh s ~pane =
           Option.iter Transport.begin_plot tr_opt;
           let spans0 = Obs.spans_total () in
           let rel0 = Obs.since_epoch_ms () in
+          let tid =
+            if Obs.Trace.current () <> 0 then Obs.Trace.current ()
+            else Obs.Trace.mint ()
+          in
           let t0 = Obs.Clock.now_ms () in
           (* A failed run can leave the cache's shared graph mid-mutation
              (reset boxes, partial views — run_exn restores the roots but
@@ -325,27 +350,33 @@ let vrefresh s ~pane =
             Option.iter (fun p -> p.Panel.stale <- true) (Panel.pane_opt s.panel pane)
           in
           match
-            Obs.with_span ~cat:"core" "core.vrefresh" (fun () ->
-                match
-                  Viewcl.run ~cfg:s.cfg
-                    ?cache:(Hashtbl.find_opt s.caches pane)
-                    s.target program
-                with
-                | res ->
-                    Hashtbl.replace s.caches pane res.Viewcl.cache;
-                    if Panel.refresh s.panel ~at:pane ~extract:(fun _ -> Some res.Viewcl.graph)
-                    then Some res
-                    else None
-                | exception Viewcl.Error _ ->
-                    drop_cache ();
-                    None
-                | exception e ->
-                    drop_cache ();
-                    raise e)
+            Obs.Trace.with_trace tid (fun () ->
+                Obs.with_span ~cat:"core" "core.vrefresh" (fun () ->
+                    match
+                      Viewcl.run ~cfg:s.cfg
+                        ?cache:(Hashtbl.find_opt s.caches pane)
+                        s.target program
+                    with
+                    | res ->
+                        Hashtbl.replace s.caches pane res.Viewcl.cache;
+                        if
+                          Panel.refresh s.panel ~at:pane
+                            ~extract:(fun _ -> Some res.Viewcl.graph)
+                        then Some res
+                        else None
+                    | exception Viewcl.Error _ ->
+                        drop_cache ();
+                        None
+                    | exception e ->
+                        drop_cache ();
+                        raise e))
           with
           | None -> None
           | Some res ->
               let wall_ms = Obs.Clock.elapsed_ms t0 in
+              if Obs.enabled () then
+                Obs.Trace.with_trace tid (fun () ->
+                    Obs.Metrics.observe "core.plot_ms" wall_ms);
               let st = Target.stats s.target in
               let spans = Obs.spans_total () - spans0 in
               let trace =
@@ -364,7 +395,8 @@ let vrefresh s ~pane =
                     link = Option.map Transport.snapshot (Target.transport s.target);
                     spans; trace; cache_hits = res.Viewcl.cache_hits;
                     cache_misses = res.Viewcl.cache_misses;
-                    cache_invalidated = res.Viewcl.cache_invalidated } )))
+                    cache_invalidated = res.Viewcl.cache_invalidated;
+                    trace_id = tid } )))
 
 (** Render one pane as ASCII, with its [STALE] tag and the transport
     health line when a link is attached. *)

@@ -75,6 +75,7 @@ type shared = {
   mutable state : tstate;
   mutable rr : int;  (* round-robin cursor for prober election *)
   mutable hsince : int;  (* admitted ops since the last state transition *)
+  mutable qspan : int;  (* op span that parked the target in quarantine *)
 }
 
 type sess = {
@@ -117,7 +118,7 @@ let create ?(capacity = 8) kernel =
   in
   Hashtbl.replace srv.targets default_target
     { tname = default_target; target = Khelpers.attach kernel; state = Healthy; rr = 0;
-      hsince = 0 };
+      hsince = 0; qspan = 0 };
   srv.torder <- [ default_target ];
   srv
 
@@ -127,7 +128,7 @@ let add_target srv ?transport name =
   let target = Khelpers.attach srv.kernel in
   Option.iter (Target.set_transport target) transport;
   Hashtbl.replace srv.targets name
-    { tname = name; target; state = Healthy; rr = 0; hsince = 0 };
+    { tname = name; target; state = Healthy; rr = 0; hsince = 0; qspan = 0 };
   srv.torder <- srv.torder @ [ name ]
 
 let target_names srv = srv.torder
@@ -306,6 +307,9 @@ let enter_quarantine srv sh =
   | Some prober ->
       sh.state <- Quarantine { prober; probes = 0 };
       sh.hsince <- 0;
+      (* remember which op parked the target, so the probation
+         re-admission that eventually follows can link back to it *)
+      sh.qspan <- Obs.Trace.current_span ();
       obs_state sh "quarantine.enter";
       Hashtbl.iter
         (fun sid s ->
@@ -454,20 +458,28 @@ let shed_stride srv sh =
 (* Where an admitted op's wire traffic goes. *)
 type route = Home | Hedged of shared
 
+(* What [degradation_route] decided, for [admit] to act on: the route,
+   whether a canary must be fired through the sick home wire before the
+   op runs, and — for a probation re-admission — the span id of the op
+   that parked the target in quarantine (0 otherwise), so the op span
+   can link back to its cause. *)
+type decision = { droute : route; dcanary : bool; dqspan : int }
+
+let go ?(canary = false) ?(qspan = 0) droute = Ok { droute; dcanary = canary; dqspan = qspan }
+
 (* Admission + routing against the target's degradation state.  Healthy
    serves at home; Degraded hedges to a healthy replica when one exists
-   (firing a canary through the sick wire so its EWMA keeps learning)
-   and weight-fair-sheds when none does; Quarantine serves everyone from
-   the replica if there is one, else only the elected prober passes;
-   Probation re-admits one waiter per op as before. *)
-let degradation_route srv sh sess : (route, reason) result =
+   (asking [admit] to fire a canary through the sick wire so its EWMA
+   keeps learning) and weight-fair-sheds when none does; Quarantine
+   serves everyone from the replica if there is one, else only the
+   elected prober passes; Probation re-admits one waiter per op as
+   before. *)
+let degradation_route srv sh sess : (decision, reason) result =
   match sh.state with
-  | Healthy -> Ok Home
+  | Healthy -> go Home
   | Degraded d -> (
       match healthy_replica srv sh with
-      | Some rep ->
-          fire_canary sess sh;
-          Ok (Hedged rep)
+      | Some rep -> go ~canary:true (Hedged rep)
       | None ->
           let bal =
             sess.weight + Option.value ~default:0 (Hashtbl.find_opt d.credits sess.sid)
@@ -475,34 +487,35 @@ let degradation_route srv sh sess : (route, reason) result =
           let stride = shed_stride srv sh in
           if bal >= stride then begin
             Hashtbl.replace d.credits sess.sid (bal - stride);
-            Ok Home
+            go Home
           end
           else begin
             Hashtbl.replace d.credits sess.sid bal;
             Error (Shed { target = sh.tname; deficit = stride - bal })
           end)
   | Quarantine q ->
-      if sess.sid = q.prober then begin
-        fire_canary sess sh;
-        (* the prober's own op rides the replica when one exists — the
-           canary above is the probe; no need to risk the whole op on
-           the sick wire *)
-        match healthy_replica srv sh with Some rep -> Ok (Hedged rep) | None -> Ok Home
-      end
+      if sess.sid = q.prober then
+        (* the prober's op rides the replica when one exists — the
+           canary is the probe; no need to risk the whole op on the
+           sick wire *)
+        match healthy_replica srv sh with
+        | Some rep -> go ~canary:true (Hedged rep)
+        | None -> go ~canary:true Home
       else (
         match healthy_replica srv sh with
-        | Some rep -> Ok (Hedged rep)
+        | Some rep -> go (Hedged rep)
         | None -> Error (Quarantined { target = sh.tname; prober = q.prober }))
   | Probation p -> (
       match p.waiting with
       | [] ->
           sh.state <- Healthy;
-          Ok Home
+          go Home
       | head :: rest ->
-          if sess.sid = head || not (List.mem sess.sid p.waiting) then Ok Home
+          if sess.sid = head then go ~qspan:sh.qspan Home
+          else if not (List.mem sess.sid p.waiting) then go Home
           else (
             match healthy_replica srv sh with
-            | Some rep -> Ok (Hedged rep)
+            | Some rep -> go (Hedged rep)
             | None ->
                 (* a non-head waiter knocked: count it, and once every
                    waiter has been turned away rotate the head so a
@@ -663,6 +676,22 @@ let run_isolated srv ~route sess f =
     health_gauges sh;
     quarantined_gauge srv
   in
+  (* a hedged op's wire work runs under its own span, linked from the
+     ambient op span so Perfetto draws the op -> replica-wire arrow *)
+  let f =
+    match route with
+    | Hedged rep when Obs.enabled () ->
+        let op = Obs.Trace.current_span () in
+        fun () ->
+          Obs.with_span ~cat:"session"
+            ~attrs:[ ("replica", rep.tname); ("target", sh.tname) ]
+            "session.hedge"
+            (fun () ->
+              Obs.Trace.link ~kind:"hedge" ~from_span:op
+                ~to_span:(Obs.Trace.current_span ());
+              f ())
+    | _ -> f
+  in
   match f () with
   | x ->
       finish ();
@@ -671,22 +700,68 @@ let run_isolated srv ~route sess f =
       finish ();
       raise e
 
-(* Full admission pipeline for one v-command. *)
+let reason_label = function
+  | Capacity _ -> "capacity"
+  | Unknown_session _ -> "unknown_session"
+  | Unknown_target _ -> "unknown_target"
+  | Reads_exhausted _ -> "reads_exhausted"
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Quarantined _ -> "quarantined"
+  | Shed _ -> "shed"
+
+(* Full admission pipeline for one v-command.  Every attempt mints a
+   trace id up front; an admitted op runs inside a root [session.op]
+   span carrying it (the ambient trace then flows into every transport/
+   target/viewcl span the op opens), and a refusal emits a typed
+   [session.refused] instant carrying the would-be trace id so shed
+   traffic is still attributable. *)
 let admit srv sid kind f =
+  let tid = Obs.Trace.mint () in
+  let refused sess_opt reason =
+    Option.iter (fun sess -> bump sess "rejections") sess_opt;
+    if Obs.enabled () then
+      Obs.instant ~cat:"session"
+        ~attrs:
+          [ ("sid", string_of_int sid); ("kind", kind);
+            ("trace", string_of_int tid); ("reason", reason_label reason) ]
+        "session.refused";
+    Rejected { reason }
+  in
   match Hashtbl.find_opt srv.sessions sid with
-  | None -> Rejected { reason = Unknown_session sid }
+  | None -> refused None (Unknown_session sid)
   | Some sess -> (
       match budget_block sess with
-      | Some reason ->
-          bump sess "rejections";
-          Rejected { reason }
+      | Some reason -> refused (Some sess) reason
       | None -> (
           match degradation_route srv sess.shared sess with
-          | Error reason ->
-              bump sess "rejections";
-              Rejected { reason }
-          | Ok route ->
-              let r = run_isolated srv ~route sess (fun () -> f sess) in
+          | Error reason -> refused (Some sess) reason
+          | Ok { droute = route; dcanary; dqspan } ->
+              let r =
+                Obs.Trace.with_trace tid (fun () ->
+                    Obs.with_span ~cat:"session"
+                      ~attrs:
+                        [ ("sid", string_of_int sid); ("kind", kind);
+                          ("target", sess.shared.tname);
+                          ("route",
+                           match route with
+                           | Home -> "home"
+                           | Hedged rep -> "hedged:" ^ rep.tname) ]
+                      "session.op"
+                      (fun () ->
+                        let op = Obs.Trace.current_span () in
+                        if dqspan <> 0 then
+                          Obs.Trace.link ~kind:"probation" ~from_span:dqspan
+                            ~to_span:op;
+                        if dcanary then
+                          Obs.with_span ~cat:"session"
+                            ~attrs:[ ("target", sess.shared.tname) ]
+                            "session.canary"
+                            (fun () ->
+                              Obs.Trace.link ~kind:"canary" ~from_span:op
+                                ~to_span:(Obs.Trace.current_span ());
+                              fire_canary sess sess.shared);
+                        run_isolated srv ~route sess (fun () -> f sess)))
+              in
               bump sess kind;
               Admitted r))
 
@@ -866,4 +941,186 @@ let status srv =
         (Option.value ~default:0 (Hashtbl.find_opt sess.tab "rejections"))
         budget_s)
     (session_ids srv);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* SLOs + the vtop dashboard *)
+
+(* The fleet's declarative objectives, one set per live session plus
+   one per target, all evaluated from counters/gauges the admission
+   path already maintains — registration is idempotent, so calling
+   this again after opening more sessions only adds the new ones. *)
+let register_slos srv =
+  List.iter
+    (fun sid ->
+      let n fmt = Printf.sprintf fmt sid in
+      Obs.Slo.register
+        { Obs.Slo.oname = n "s%d.availability";
+          okind = Obs.Slo.Good_bad { good = n "session.%d.ops"; bad = n "session.%d.rejections" };
+          otarget = 0.95 };
+      Obs.Slo.register
+        { Obs.Slo.oname = n "s%d.clean_reads";
+          okind = Obs.Slo.Bad_total { bad = n "session.%d.faults"; total = n "session.%d.reads" };
+          otarget = 0.99 };
+      Obs.Slo.register
+        { Obs.Slo.oname = n "s%d.op_p95";
+          okind = Obs.Slo.Histogram_le { histo = n "session.%d.op_ms"; threshold_ms = 100. };
+          otarget = 0.95 };
+      Obs.Slo.register
+        { Obs.Slo.oname = n "s%d.staleness";
+          okind =
+            Obs.Slo.Bad_total
+              { bad = n "session.%d.stale.renders"; total = n "session.%d.renders" };
+          otarget = 0.90 })
+    (session_ids srv);
+  List.iter
+    (fun tname ->
+      Obs.Slo.register
+        { Obs.Slo.oname = Printf.sprintf "t.%s.healthy" tname;
+          okind =
+            Obs.Slo.Gauge_le
+              { gauge = Printf.sprintf "health.%s.state" tname; threshold = 0.5 };
+          otarget = 0.90 })
+    srv.torder
+
+(* The worst SLO row for one session: (max burn, worst severity). *)
+let slo_worst_for prefix =
+  List.fold_left
+    (fun (burn, sev) (r : Obs.Slo.status) ->
+      if String.length r.Obs.Slo.slo >= String.length prefix
+         && String.sub r.Obs.Slo.slo 0 (String.length prefix) = prefix
+      then
+        ( Float.max burn r.Obs.Slo.burn_rate,
+          if r.Obs.Slo.severity = "page" || sev = "page" then "page"
+          else if r.Obs.Slo.severity = "warn" || sev = "warn" then "warn"
+          else sev )
+      else (burn, sev))
+    (0., "ok")
+
+(* Live ASCII fleet dashboard: one render of everything the fleet
+   knows about itself — target health, per-session vitals, SLO burn,
+   and the slowest recent traces with their causal links. *)
+let vtop ?(top = 5) srv =
+  Obs.Slo.tick ();
+  let b = Buffer.create 2048 in
+  let nsess = Hashtbl.length srv.sessions in
+  Printf.bprintf b "vtop — %d/%d session%s, %d target%s" nsess srv.cap
+    (if nsess = 1 then "" else "s")
+    (List.length srv.torder)
+    (if List.length srv.torder = 1 then "" else "s");
+  if Obs.enabled () then
+    Printf.bprintf b " | obs ring %d/%d (%d dropped)" (Obs.event_count ())
+      (Obs.ring_capacity ()) (Obs.dropped ())
+  else Buffer.add_string b " | observability OFF (vctrl obs on)";
+  Buffer.add_char b '\n';
+  (* --- targets --- *)
+  Printf.bprintf b "%-8s %-10s %-7s %-7s %-9s %s\n" "TARGET" "STATE" "FAULT"
+    "LAT_MS" "WIRE" "CACHE";
+  List.iter
+    (fun tname ->
+      let sh = shared_of srv tname in
+      let state =
+        match sh.state with
+        | Healthy -> "healthy"
+        | Degraded _ -> "DEGRADED"
+        | Quarantine q -> Printf.sprintf "QUAR(p%d)" q.prober
+        | Probation p -> Printf.sprintf "prob(%d)" (List.length p.waiting)
+      in
+      let fault, lat, wire =
+        match Target.transport sh.target with
+        | None -> ("-", "-", "local")
+        | Some tr ->
+            let e = Transport.ewma tr in
+            ( Printf.sprintf "%.3f" e.Transport.ew_fault_rate,
+              Printf.sprintf "%.2f" e.Transport.ew_latency_ms,
+              Printf.sprintf "%s/%s"
+                (match Transport.link tr with Transport.Up -> "up" | Transport.Down -> "down")
+                (match Transport.breaker tr with
+                | Transport.Closed -> "cl"
+                | Transport.Open -> "OPEN"
+                | Transport.Half_open -> "half") )
+      in
+      let cs = Target.cache_stats sh.target in
+      let tot = cs.Target.hits + cs.Target.misses in
+      Printf.bprintf b "%-8s %-10s %-7s %-7s %-9s %d/%d hit%s\n" tname state fault
+        lat wire cs.Target.hits tot
+        (if tot = 0 then "" else Printf.sprintf " (%.0f%%)" (100. *. float_of_int cs.Target.hits /. float_of_int tot)))
+    srv.torder;
+  (* --- sessions --- *)
+  let slo_rows = Obs.Slo.status () in
+  Printf.bprintf b "%-4s %-10s %-6s %-2s %-6s %-6s %-5s %-12s %-6s %s\n" "SID"
+    "NAME" "TGT" "W" "OPS" "FAULTS" "RTOK" "BUDGET" "HIT%" "SLO";
+  List.iter
+    (fun sid ->
+      let sess = Hashtbl.find srv.sessions sid in
+      let c k = Option.value ~default:0 (Hashtbl.find_opt sess.tab k) in
+      let hits = c "cache.hits" and misses = c "cache.misses" in
+      let hitp =
+        if hits + misses = 0 then "-"
+        else Printf.sprintf "%.0f" (100. *. float_of_int hits /. float_of_int (hits + misses))
+      in
+      let budget_s =
+        match (sess.sbudget.max_reads, sess.sbudget.max_sim_ms) with
+        | None, None -> "unlim"
+        | Some l, _ -> Printf.sprintf "%d/%dr" sess.sreads l
+        | None, Some m -> Printf.sprintf "%.0f/%.0fms" sess.ssim_ms m
+      in
+      let burn, sev = slo_worst_for (Printf.sprintf "s%d." sid) slo_rows in
+      let slo_s =
+        if slo_rows = [] then "-"
+        else Printf.sprintf "%.2fx %s" burn (if sev = "ok" then "" else String.uppercase_ascii sev)
+      in
+      Printf.bprintf b "%-4d %-10s %-6s %-2d %-6d %-6d %-5d %-12s %-6s %s\n" sid
+        sess.name sess.shared.tname sess.weight (c "ops") (c "faults")
+        sess.rb_tokens budget_s hitp (String.trim slo_s))
+    (session_ids srv);
+  (* --- SLO table + slowest traces (observability on only) --- *)
+  if Obs.enabled () then begin
+    if slo_rows <> [] then begin
+      Buffer.add_string b (Obs.Slo.report ());
+      Buffer.add_char b '\n'
+    end;
+    (* span id -> trace id, from the surviving ring, to attribute links *)
+    let span_trace = Hashtbl.create 256 in
+    let ops =
+      List.filter
+        (fun (s : Obs.span) ->
+          Hashtbl.replace span_trace s.Obs.sid s.Obs.strace;
+          s.Obs.sname = "session.op")
+        (Obs.span_events ())
+    in
+    let links_of tid =
+      let tbl = Hashtbl.create 4 in
+      List.iter
+        (fun (l : Obs.Trace.link) ->
+          let owner id = Option.value ~default:0 (Hashtbl.find_opt span_trace id) in
+          if owner l.Obs.Trace.lfrom = tid || owner l.Obs.Trace.lto = tid then
+            Hashtbl.replace tbl l.Obs.Trace.lkind
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l.Obs.Trace.lkind)))
+        (Obs.Trace.links ());
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort compare
+      |> List.map (fun (k, v) -> if v = 1 then k else Printf.sprintf "%s x%d" k v)
+    in
+    let slowest =
+      List.sort (fun (a : Obs.span) bs -> compare bs.Obs.sdur_ms a.Obs.sdur_ms) ops
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    (match take top slowest with
+    | [] -> ()
+    | rows ->
+        Printf.bprintf b "slowest traces (of %d op spans in ring):\n" (List.length ops);
+        List.iter
+          (fun (s : Obs.span) ->
+            let attr k = Option.value ~default:"?" (List.assoc_opt k s.Obs.sattrs) in
+            let links = links_of s.Obs.strace in
+            Printf.bprintf b "  trace %-5d %7.2f ms  sid %-3s %-5s route %-10s%s\n"
+              s.Obs.strace s.Obs.sdur_ms (attr "sid") (attr "kind") (attr "route")
+              (if links = [] then "" else "  links: " ^ String.concat ", " links))
+          rows)
+  end;
   Buffer.contents b

@@ -245,3 +245,27 @@ val recover_fleet : server -> string -> (sid * int) outcome list
 val status : server -> string
 (** Human-readable multi-line server summary (targets, health,
     sessions, budgets) for the repl. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 SLOs and the vtop dashboard} *)
+
+val register_slos : server -> unit
+(** Register the fleet's standard objectives with {!Obs.Slo}: per live
+    session [s<sid>.availability] (ops vs rejections, 99.5th-style
+    target 0.95), [s<sid>.clean_reads] (faults per read, 0.99),
+    [s<sid>.op_p95] (op latency <= 100 ms, 0.95) and [s<sid>.staleness]
+    (stale renders, 0.90); per target [t.<name>.healthy] (health-state
+    gauge at Healthy, 0.90).  Idempotent — safe to call again after
+    opening more sessions.  The SLO engine stays read-only: burn only
+    drives gauges and events, never admission. *)
+
+val vtop : ?top:int -> server -> string
+(** One render of the live fleet dashboard: a header with obs ring
+    pressure, a per-target table (state, fault/latency EWMAs, wire and
+    cache), a per-session table (ops, faults, retry tokens, budget
+    spend, cache hit rate, worst SLO burn), the {!Obs.Slo.report}
+    table, and the [top] (default 5) slowest [session.op] traces still
+    in the ring with their causal links (hedge/canary/retry/probation).
+    Ticks one SLO evaluation epoch ({!Obs.Slo.tick}) per call — vtop
+    {e is} the fleet's heartbeat when the repl drives it.  Degrades
+    gracefully to the static tables when observability is off. *)

@@ -355,10 +355,18 @@ let fetch_raw t ~bytes perform =
                 charge t (backoff_ms t.policy ~seed:t.seed ~attempt:n);
                 attempt (n + 1)
               in
-              if Obs.enabled () then
+              if Obs.enabled () then begin
+                (* link the retry to the attempt it replaces: the span we
+                   are currently inside (fetch, or the previous retry) *)
+                let prev = Obs.Trace.current_span () in
                 Obs.with_span ~cat:"transport"
                   ~attrs:[ ("attempt", string_of_int (n + 1)) ]
-                  "transport.retry" retry
+                  "transport.retry"
+                  (fun () ->
+                    Obs.Trace.link ~kind:"retry" ~from_span:prev
+                      ~to_span:(Obs.Trace.current_span ());
+                    retry ())
+              end
               else retry ()
             end
           end

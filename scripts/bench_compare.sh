@@ -99,6 +99,18 @@ else
             exit (r > 1.30) ? 1 : 0;
         }' || fail=1
     fi
+    # ISSUE 8: the SLO engine's gauges and the histogram exemplars must
+    # be present, so neither can be silently compiled out
+    for g in slo.s1.clean_reads.burn_rate slo.s1.clean_reads.budget_remaining; do
+        grep -q "\"$g\":" "$SESS" \
+            || { echo "bench-compare: $SESS has no $g gauge (SLO engine vacuous)"; fail=1; }
+    done
+    if grep -q '"exemplars":{' "$SESS" && grep -q '"trace":[1-9]' "$SESS"; then
+        echo "bench-compare: $SESS SLO gauges + exemplar trace ids present"
+    else
+        echo "bench-compare: $SESS has no histogram exemplar trace ids"
+        fail=1
+    fi
 fi
 
 # The ISSUE 7 campaign artifact (gray_ramp, written last by
@@ -134,6 +146,15 @@ else
             printf "bench-compare: campaign.hedged_ops      %10.0f    (need     >= 1)\n", h;
             exit (h >= 1) ? 0 : 1;
         }' || fail=1
+    fi
+    # ISSUE 8: SLO gauges and exemplars in the campaign artifact too
+    grep -q '"slo\.s1\.op_p95\.burn_rate":' "$CAMP" \
+        || { echo "bench-compare: $CAMP has no slo.s1.op_p95.burn_rate gauge"; fail=1; }
+    if grep -q '"exemplars":{' "$CAMP" && grep -q '"trace":[1-9]' "$CAMP"; then
+        echo "bench-compare: $CAMP SLO gauges + exemplar trace ids present"
+    else
+        echo "bench-compare: $CAMP has no histogram exemplar trace ids"
+        fail=1
     fi
 fi
 

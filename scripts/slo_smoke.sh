@@ -1,0 +1,72 @@
+#!/bin/sh
+# SLO burn-rate gate (ISSUE 8): run the multi-session isolation bench
+# (one sick session storming a shared wire, three healthy neighbours)
+# and assert, from the exported slo.* gauges, that the burn-rate engine
+# actually discriminates:
+#
+#   - the sick session's clean_reads objective (faults per read,
+#     target 0.99) must be burning its error budget at >= 1x — the
+#     multi-window min(fast, slow) rate, so a single noisy epoch
+#     cannot fire it;
+#   - every healthy session's clean_reads burn must be exactly quiet
+#     (< 1x; in practice 0 — fault isolation means their reads see
+#     none of the storm);
+#   - at least one histogram exemplar must carry a real trace id, so
+#     a burning budget can be chased to the causal trace behind it.
+#
+# The obs-on overhead guard (geomean <= 2x, scripts/obs_smoke.sh) is a
+# prerequisite via the Makefile: slo-smoke depends on obs-smoke, so a
+# burning SLO can never be "fixed" by instrumentation that slows the
+# fleet into compliance.
+set -eu
+
+FILE="BENCH_sessions.json"
+BIN="_build/default/bench/main.exe"
+
+[ -x "$BIN" ] || dune build bench/main.exe
+
+"$BIN" --sessions 4 --fault-rate 0.2 --seed 7 > /dev/null
+
+[ -f "$FILE" ] || { echo "slo-smoke: $FILE missing"; exit 1; }
+
+# burn SID: the exported slo.s<SID>.clean_reads.burn_rate gauge
+burn() {
+    grep -o "\"slo\.s$1\.clean_reads\.burn_rate\":[0-9.eE+-]*" "$FILE" | cut -d: -f2
+}
+
+fail=0
+
+sick=$(burn 1)
+if [ -z "$sick" ]; then
+    echo "slo-smoke: no slo.s1.clean_reads.burn_rate gauge in $FILE (engine vacuous)"
+    fail=1
+else
+    awk -v b="$sick" 'BEGIN {
+        printf "slo-smoke: sick session s1 clean_reads burn %.2fx (need >= 1)\n", b;
+        exit (b >= 1) ? 0 : 1;
+    }' || fail=1
+fi
+
+for sid in 2 3 4; do
+    quiet=$(burn "$sid")
+    if [ -z "$quiet" ]; then
+        echo "slo-smoke: no slo.s$sid.clean_reads.burn_rate gauge in $FILE"
+        fail=1
+    else
+        awk -v b="$quiet" -v s="$sid" 'BEGIN {
+            printf "slo-smoke: healthy session s%s clean_reads burn %.2fx (need < 1)\n", s, b;
+            exit (b < 1) ? 0 : 1;
+        }' || fail=1
+    fi
+done
+
+# at least one exemplar with a nonzero trace id
+if grep -o '"exemplars":{.*' "$FILE" | grep -q '"trace":[1-9]'; then
+    echo "slo-smoke: histogram exemplars carry trace ids"
+else
+    echo "slo-smoke: no histogram exemplar with a nonzero trace id in $FILE"
+    fail=1
+fi
+
+[ "$fail" = 0 ] && echo "slo-smoke: ok"
+exit "$fail"

@@ -22,4 +22,5 @@ let () =
       ("json+protocol", Test_json_protocol.suite);
       ("session", Test_session.suite);
       ("health", Test_health.suite);
+      ("trace", Test_trace.suite);
       ("integration", Test_visualinux.suite) ]
