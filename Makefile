@@ -6,7 +6,7 @@
 # rates), lints formatting, and does one full bench iteration so that a
 # broken build or a broken evaluation shape is caught mechanically.
 
-.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke campaign-smoke obs-smoke slo-smoke bench-compare fmt-check ci check clean
+.PHONY: all test bench bench-smoke chaos-smoke perf-smoke session-smoke campaign-smoke crash-smoke obs-smoke slo-smoke bench-compare fmt-check ci check clean
 
 all:
 	dune build @all
@@ -65,17 +65,37 @@ session-smoke: all
 	dune exec bench/main.exe -- --sessions 4 --fault-rate 0.2 --seed 7
 	@echo "session-smoke: ok"
 
-# Campaign smoke (ISSUE 7): the two committed chaos campaigns, with
-# their expect-gates asserted in-process — flap_recover (hard outages
-# on a replica-less target: quarantine, [STALE] service, bounded TTR)
-# then gray_ramp (a gray-failure ramp hedged to a healthy replica
-# before the breaker opens, byte-identity asserted).  gray_ramp runs
-# last so BENCH_campaign.json holds its numbers, which bench-compare
-# then gates on.
+# Campaign smoke (ISSUE 7/9): the committed chaos campaigns, with
+# their expect-gates asserted in-process — crash_storm (a bit-flipped
+# WAL record and two full crash-recoveries from the durable journal,
+# one mid-outage), flap_recover (hard outages on a replica-less
+# target: quarantine, [STALE] service, bounded TTR) then gray_ramp (a
+# gray-failure ramp hedged to a healthy replica before the breaker
+# opens, byte-identity asserted).  gray_ramp runs last so
+# BENCH_campaign.json holds its numbers, which bench-compare then
+# gates on.
 campaign-smoke: all
+	dune exec bench/main.exe -- --campaign campaigns/crash_storm.campaign --seed 7
 	dune exec bench/main.exe -- --campaign campaigns/flap_recover.campaign --seed 7
 	dune exec bench/main.exe -- --campaign campaigns/gray_ramp.campaign --seed 7
 	@echo "campaign-smoke: ok"
+
+# Crash-point torture (ISSUE 9): record a run of journaled panel ops,
+# then crash at EVERY record boundary and recover three ways per point
+# (exact prefix, torn final record, bit-flipped earlier record).  The
+# bench asserts the gates in-process: every clean prefix recovers
+# bit-identically (pane ids, box ids, rendered text), torn tails are
+# dropped not tripped over, a flipped bit degrades only the owning
+# session (typed salvage), and an unsalvageable snapshot quarantines
+# every session rather than raising.  The grep makes non-vacuity
+# mechanical: the artifact must show crash points and salvages.
+crash-smoke: all
+	dune exec bench/main.exe -- --crash campaigns/crash_storm.campaign --seed 7
+	@grep -o '"crash.points":[0-9.]*' BENCH_crash.json | grep -qv ':0\.' \
+		|| { echo "crash-smoke: no crash points exercised (harness vacuous)"; exit 1; }
+	@grep -o '"crash.salvaged":[0-9.]*' BENCH_crash.json | grep -qv ':0\.' \
+		|| { echo "crash-smoke: no salvages observed (corruption path vacuous)"; exit 1; }
+	@echo "crash-smoke: ok"
 
 # Wall-clock regression guard: fresh BENCH_smoke.json vs. the committed
 # baseline (25% relative budget with an absolute slack floor).  Also
@@ -104,7 +124,7 @@ fmt-check:
 		echo "fmt-check: tabs or trailing whitespace found (see above)"; exit 1; \
 	else echo "fmt-check: clean"; fi
 
-ci: all test bench-smoke session-smoke campaign-smoke bench-compare chaos-smoke perf-smoke obs-smoke slo-smoke fmt-check
+ci: all test bench-smoke session-smoke campaign-smoke crash-smoke bench-compare chaos-smoke perf-smoke obs-smoke slo-smoke fmt-check
 
 check: ci bench
 

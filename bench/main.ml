@@ -1035,12 +1035,14 @@ let campaign_bench ~file ~seed =
     let kernel = Kstate.boot () in
     let w = Workload.create kernel in
     Workload.run w;
-    let srv = Session.create ~capacity:n kernel in
+    (* a ref: `crash_at` replaces the whole server with one recovered
+       from the durable WAL image, and every closure below must see it *)
+    let srv = ref (Session.create ~capacity:n kernel) in
     let trs =
       List.mapi
         (fun i t ->
           let tr = Transport.create ~seed:(seed + i) Target.kgdb_rpi400 in
-          Session.add_target srv ~transport:tr t;
+          Session.add_target !srv ~transport:tr t;
           (t, tr))
         c.C.ctargets
     in
@@ -1054,7 +1056,7 @@ let campaign_bench ~file ~seed =
           match
             Session.open_session
               ~budget:(Session.budget ~retry_burst:8 ())
-              ~weight:(C.weight_at c i) ~target:home srv
+              ~weight:(C.weight_at c i) ~target:home !srv
               (Printf.sprintf "s%d" (i + 1))
           with
           | Session.Admitted sid -> sid
@@ -1066,23 +1068,31 @@ let campaign_bench ~file ~seed =
        run's own *)
     if live && Obs.enabled () then begin
       Obs.Slo.clear ();
-      Session.register_slos srv
+      Session.register_slos !srv
     end;
-    let mem = Target.mem (Option.get (Session.vis srv (List.hd sids))).Visualinux.target in
+    let mem =
+      Target.mem (Option.get (Session.vis !srv (List.hd sids))).Visualinux.target
+    in
     (* setup (not part of the measured timeline): every session plots its
        own figure; the op loop then refreshes them with the read cache
        off so every admitted op is real wire work *)
     let panes =
       List.mapi
         (fun i sid ->
-          match Session.vplot srv sid (own_fig i).Scripts.source with
+          match Session.vplot !srv sid (own_fig i).Scripts.source with
           | Session.Admitted (p, _, _) -> (sid, (p.Panel.pid, own_fig i))
           | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
         sids
     in
     Target.set_read_cache
-      (Option.get (Session.vis srv (List.hd sids))).Visualinux.target
+      (Option.get (Session.vis !srv (List.hd sids))).Visualinux.target
       false;
+    (* the live fleet journals into a durable WAL from here on: the
+       attach snapshot captures the plotted panes, then every admitted
+       op streams as a checksummed record — `crash_at` rebuilds the
+       whole server from exactly these bytes *)
+    if live then Session.attach_wal !srv (Durable.create ~seed:(seed + 7177) ());
+    let crashes = ref 0 and recovered_s = ref 0 and salvaged_s = ref 0 in
     let phases_rev = ref [] in
     let cur = ref { att = 0; adm = 0; pms = []; stale = 0; broken = 0; torn = 0 } in
     phases_rev := [ ("start", !cur) ];
@@ -1129,12 +1139,39 @@ let campaign_bench ~file ~seed =
             recover_mark := Some op;
             ttr := None
           end
+      | C.Corrupt_journal ->
+          (* flip one payload bit inside a journaled op record; the next
+             crash recovery must salvage around it, not raise *)
+          if live then ignore (Session.corrupt_wal !srv)
+      | C.Crash ->
+          if live then begin
+            let image = Durable.contents (Option.get (Session.wal_of !srv)) in
+            let srv' = Session.create ~capacity:n kernel in
+            (* the same wires, warts and all: a crash of the session host
+               does not heal a down link or a tripped breaker *)
+            List.iter (fun (t, tr) -> Session.add_target srv' ~transport:tr t) trs;
+            let r = Session.recover_durable srv' image in
+            print_string (Session.recovery_to_string r);
+            incr crashes;
+            List.iter
+              (fun (s : Session.srecovery) ->
+                match s.Session.rsalvage with
+                | Session.Replayed -> incr recovered_s
+                | Session.Salvaged _ | Session.Quarantined_stale -> incr salvaged_s)
+              r.Session.rsessions;
+            Session.attach_wal srv'
+              (Durable.create ~seed:(seed + 7177 + !crashes) ());
+            srv := srv';
+            Target.set_read_cache
+              (Option.get (Session.vis srv' (List.hd sids))).Visualinux.target
+              false
+          end
     in
     let timed sid f =
-      let w0 = Session.wire_ms srv sid in
+      let w0 = Session.wire_ms !srv sid in
       let t0 = Unix.gettimeofday () in
       let out = f () in
-      (out, ((Unix.gettimeofday () -. t0) *. 1000.) +. (Session.wire_ms srv sid -. w0))
+      (out, ((Unix.gettimeofday () -. t0) *. 1000.) +. (Session.wire_ms !srv sid -. w0))
     in
     let drive op =
       let i = (op - 1) mod n in
@@ -1145,9 +1182,17 @@ let campaign_bench ~file ~seed =
       if i = 0 && not (Kmem.injection_active mem) then Workload.step w;
       let sid = List.nth sids i in
       let pane, sc = List.assoc sid panes in
-      let h0 = Session.counter srv sid "hedged.ops" in
+      let h0 = Session.counter !srv sid "hedged.ops" in
+      (* refreshes are not journaled; a periodic no-op refine keeps
+         checkpointed records flowing into the WAL so `crash_at` and
+         `corrupt_journal` always have a mid-stream op to land on *)
+      if op mod 5 = 0 then
+        ignore
+          (Session.vctrl !srv sid
+             (Visualinux.Apply
+                { pane; viewql = "a = SELECT task_struct FROM * WHERE pid > 99999" }));
       !cur.att <- !cur.att + 1;
-      (match timed sid (fun () -> Session.vrefresh srv sid ~pane) with
+      (match timed sid (fun () -> Session.vrefresh !srv sid ~pane) with
       | Session.Admitted r, ms ->
           !cur.adm <- !cur.adm + 1;
           !cur.pms <- ms :: !cur.pms;
@@ -1158,7 +1203,7 @@ let campaign_bench ~file ~seed =
              it), which is the ISSUE 7 acceptance gate *)
           if
             live && (not !hedge_checked)
-            && Session.counter srv sid "hedged.ops" > h0
+            && Session.counter !srv sid "hedged.ops" > h0
             && not (Kmem.injection_active mem)
           then begin
             hedge_checked := true;
@@ -1169,17 +1214,17 @@ let campaign_bench ~file ~seed =
           end
       | Session.Rejected _, _ ->
           incr rejections;
-          ignore (Session.render srv sid pane);
+          ignore (Session.render !srv sid pane);
           incr stale_serves);
-      (match Session.render srv sid pane with
+      (match Session.render !srv sid pane with
       | Some txt ->
           !cur.stale <- !cur.stale + count_sub txt "[STALE]";
           !cur.broken <- !cur.broken + count_sub txt "[BROKEN";
           !cur.torn <- !cur.torn + count_sub txt "[TORN]"
       | None -> ());
-      if Session.target_health srv home <> `Healthy then incr unhealthy;
+      if Session.target_health !srv home <> `Healthy then incr unhealthy;
       match !recover_mark with
-      | Some r0 when !ttr = None && Session.target_health srv home = `Healthy ->
+      | Some r0 when !ttr = None && Session.target_health !srv home = `Healthy ->
           ttr := Some (op - r0 + 1)
       | _ -> ()
     in
@@ -1194,22 +1239,24 @@ let campaign_bench ~file ~seed =
     (match !recover_mark with
     | Some _ when !ttr = None ->
         let extra = ref 0 in
-        while Session.target_health srv home <> `Healthy && !extra < 8 * n do
+        while Session.target_health !srv home <> `Healthy && !extra < 8 * n do
           incr extra;
           drive (c.C.cops + !extra)
         done
     | _ -> ());
     let hedged =
-      List.fold_left (fun a sid -> a + Session.counter srv sid "hedged.ops") 0 sids
+      List.fold_left (fun a sid -> a + Session.counter !srv sid "hedged.ops") 0 sids
     in
     let canaries =
-      List.fold_left (fun a sid -> a + Session.counter srv sid "canaries") 0 sids
+      List.fold_left (fun a sid -> a + Session.counter !srv sid "canaries") 0 sids
     in
     ( List.rev !phases_rev, !unhealthy, !ttr, hedged, canaries, !stale_serves, !rejections,
-      Session.target_health srv home )
+      Session.target_health !srv home,
+      (!crashes, !recovered_s, !salvaged_s) )
   in
-  let base_phases, _, _, base_hedged, _, _, _, _ = run ~live:false in
-  let phases, unhealthy, ttr, hedged, canaries, stale_serves, rejections, end_health =
+  let base_phases, _, _, base_hedged, _, _, _, _, _ = run ~live:false in
+  let ( phases, unhealthy, ttr, hedged, canaries, stale_serves, rejections, end_health,
+        (crashes, recovered_s, salvaged_s) ) =
     run ~live:true
   in
   assert (base_hedged = 0);
@@ -1239,6 +1286,12 @@ let campaign_bench ~file ~seed =
     | `Degraded -> "degraded"
     | `Quarantine _ -> "quarantine"
     | `Probation _ -> "probation");
+  if crashes > 0 then
+    Printf.printf
+      "%d crash recover%s from the durable WAL: %d sessions replayed clean, %d salvaged\n"
+      crashes
+      (if crashes = 1 then "y" else "ies")
+      recovered_s salvaged_s;
   if Obs.enabled () then begin
     Obs.Metrics.set_gauge "campaign.p95_ratio" ratio;
     Obs.Metrics.set_gauge "campaign.live_p95_ms" live_p95;
@@ -1246,6 +1299,9 @@ let campaign_bench ~file ~seed =
     Obs.Metrics.set_gauge "campaign.unhealthy_ops" (float_of_int unhealthy);
     Obs.Metrics.set_gauge "campaign.hedged_ops" (float_of_int hedged);
     Obs.Metrics.set_gauge "campaign.stale_serves" (float_of_int stale_serves);
+    Obs.Metrics.set_gauge "campaign.crash_recoveries" (float_of_int crashes);
+    Obs.Metrics.set_gauge "campaign.recovered_sessions" (float_of_int recovered_s);
+    Obs.Metrics.set_gauge "campaign.salvaged_sessions" (float_of_int salvaged_s);
     Option.iter
       (fun t -> Obs.Metrics.set_gauge "campaign.ttr_ops" (float_of_int t))
       ttr;
@@ -1273,6 +1329,11 @@ let campaign_bench ~file ~seed =
             | None -> (false, nan))
         | "unhealthy_ops" -> (unhealthy >= int_of_float v, float_of_int unhealthy)
         | "hedged_ops" -> (hedged >= int_of_float v, float_of_int hedged)
+        | "crash_recoveries" -> (crashes >= int_of_float v, float_of_int crashes)
+        | "recovered_sessions" ->
+            (recovered_s >= int_of_float v, float_of_int recovered_s)
+        | "salvaged_sessions" ->
+            (salvaged_s >= int_of_float v, float_of_int salvaged_s)
         | _ -> (
             match String.index_opt key '.' with
             | Some i when String.sub key 0 i = "availability" -> (
@@ -1288,6 +1349,241 @@ let campaign_bench ~file ~seed =
   (* the campaign must always end healed when it scripted a recovery *)
   if c.C.expects <> [] && List.mem_assoc "ttr_ops" c.C.expects then
     assert (end_health = `Healthy)
+
+(* ------------------------------------------------------------------ *)
+
+(* The crash-point torture harness (--crash <campaign>): record a run of
+   checkpointing panel ops into the durable WAL, then for {e every}
+   prefix length k of the recorded journal, crash there and recover —
+   three ways per point:
+
+     clean    the exact k-record prefix: every session must replay
+              byte-identically (pane ids, box ids, rendered text) to the
+              reference state captured live after record k
+     torn     the prefix plus a truncated record k: the partial write
+              must be detected and dropped, recovery equal to clean-k
+     bit-flip one seeded bit inside an earlier record j: the owner of j
+              comes back typed (salvaged/quarantined) or provably
+              shorter, every other session byte-identical — corruption
+              never leaks across the session boundary
+
+   Zero exceptions anywhere, by construction of the assert soup. *)
+let crash_bench ~file ~seed =
+  let module C = Workload.Campaign in
+  let c = C.parse (read_file file) in
+  let n = c.C.csessions in
+  let nops = min c.C.cops 48 in
+  section
+    (Printf.sprintf "Crash torture of campaign %S: %d sessions, %d recorded ops (seed %d)"
+       c.C.cname n nops seed);
+  if nops < c.C.cops then
+    Printf.printf
+      "  (capped at %d of the campaign's %d ops: every crash point recovers 3 ways)\n" nops
+      c.C.cops;
+  let kernel = Kstate.boot () in
+  let w = Workload.create kernel in
+  Workload.run w;
+  (* the recorded fleet runs on the local in-process target: the torture
+     measures journal robustness, not wire weather, and a static kernel
+     makes "byte-identical" a meaningful oracle *)
+  let srv = Session.create ~capacity:n kernel in
+  let sids =
+    List.init n (fun i ->
+        match Session.open_session srv (Printf.sprintf "s%d" (i + 1)) with
+        | Session.Admitted sid -> sid
+        | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
+  in
+  let own_figs =
+    List.filter_map Scripts.find [ "3-6"; "7-1"; "11-1"; "16-2"; "proc2vfs"; "8-2" ]
+  in
+  let own_fig i = List.nth own_figs (i mod List.length own_figs) in
+  let panes =
+    List.mapi
+      (fun i sid ->
+        match Session.vplot srv sid (own_fig i).Scripts.source with
+        | Session.Admitted (p, _, _) -> (sid, p.Panel.pid)
+        | Session.Rejected { reason } -> failwith (Session.reason_to_string reason))
+      sids
+  in
+  let wal = Durable.create ~seed () in
+  (* pure tail after the attach snapshot: mid-run compaction would fold
+     records away and crash points must map 1:1 onto driver actions *)
+  Session.set_wal_snapshot_limit srv 1_000_000;
+  Session.attach_wal srv wal;
+  (* ops already inside the attach snapshot (the vplot Jopen): recovery
+     replays them too, so expected-op arithmetic needs the base *)
+  let base_ops =
+    List.map
+      (fun sid ->
+        ( sid,
+          List.length
+            (Panel.journal (Option.get (Session.vis srv sid)).Visualinux.panel) ))
+      sids
+  in
+  let viewqls =
+    [| "a = SELECT task_struct FROM * WHERE pid > 99999\nUPDATE a WITH collapsed: true";
+       "a = SELECT task_struct FROM *\nUPDATE a WITH collapsed: true";
+       "a = SELECT task_struct FROM * WHERE pid > 1\nUPDATE a WITH collapsed: false" |]
+  in
+  let extra = Array.make (n + 1) [] in
+  let owners_rev = ref [ 0 ] (* record 0 = the attach snapshot, unowned *) in
+  let capture () =
+    List.map (fun sid -> (sid, pane_state (Option.get (Session.vis srv sid)))) sids
+  in
+  let refs = Array.make (nops + 2) [] in
+  refs.(1) <- capture ();
+  for i = 1 to nops do
+    let idx = (i - 1) mod n in
+    let sid = List.nth sids idx in
+    let base = List.assoc sid panes in
+    let ctrl =
+      if i mod 7 = 0 then
+        Visualinux.Split
+          { pane = base;
+            dir = (if i mod 14 = 0 then `Vertical else `Horizontal);
+            program = (own_fig (idx + i)).Scripts.source }
+      else
+        match extra.(idx) with
+        | p :: _ when i mod 7 = 3 -> Visualinux.Close { pane = p }
+        | _ -> Visualinux.Apply { pane = base; viewql = viewqls.(i mod 3) }
+    in
+    (match Session.vctrl srv sid ctrl with
+    | Session.Admitted (Visualinux.Opened p) -> extra.(idx) <- p :: extra.(idx)
+    | Session.Admitted _ -> (
+        match ctrl with
+        | Visualinux.Close _ -> extra.(idx) <- List.tl extra.(idx)
+        | _ -> ())
+    | Session.Rejected { reason } -> failwith (Session.reason_to_string reason));
+    owners_rev := sid :: !owners_rev;
+    if i mod 4 = 0 then Durable.flush wal;
+    refs.(i + 1) <- capture ()
+  done;
+  let records = Array.of_list (Durable.record_bytes wal) in
+  let owners = Array.of_list (List.rev !owners_rev) in
+  let r = Array.length records in
+  (* one driver action = exactly one checksummed record, or the crash
+     points below would not be the crash points we think they are *)
+  assert (r = nops + 1);
+  let prefix k = String.concat "" (Array.to_list (Array.sub records 0 k)) in
+  let off_of j =
+    let o = ref 0 in
+    for i = 0 to j - 1 do
+      o := !o + String.length records.(i)
+    done;
+    !o
+  in
+  let rnd = ref (seed lor 1) in
+  let rand m =
+    rnd := ((!rnd * 0x5DEECE66D) + 0xB) land max_int;
+    (!rnd lsr 17) mod m
+  in
+  let recover image =
+    let t0 = Unix.gettimeofday () in
+    let srv' = Session.create ~capacity:n kernel in
+    let rcv = Session.recover_durable srv' image in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    if Obs.enabled () then Obs.Metrics.observe "crash.recover_ms" ms;
+    (srv', rcv, ms)
+  in
+  let state_of srv' sid = pane_state (Option.get (Session.vis srv' sid)) in
+  let is_replayed (s : Session.srecovery) = s.Session.rsalvage = Session.Replayed in
+  let identical = ref 0 and torn_ok = ref 0 and salvages = ref 0 and shorter = ref 0 in
+  Printf.printf "\n%4s %6s %6s %5s %5s  %-28s %8s\n" "k" "bytes" "clean" "torn" "flip@"
+    "flip outcome (owner)" "ms";
+  for k = 1 to r do
+    (* -- clean prefix: bit-identical or bust ------------------------ *)
+    let srv', rcv, ms = recover (prefix k) in
+    assert (rcv.Session.rreport.Durable.torn_bytes = 0);
+    assert (rcv.Session.rreport.Durable.records_skipped = 0);
+    assert (List.for_all is_replayed rcv.Session.rsessions);
+    assert (List.for_all (fun sid -> state_of srv' sid = List.assoc sid refs.(k)) sids);
+    incr identical;
+    (* -- torn tail: a partial record k is dropped, not tripped over - *)
+    let torn =
+      if k < r then begin
+        let cut = 1 + rand (String.length records.(k) - 1) in
+        let srv', rcv, _ = recover (prefix k ^ String.sub records.(k) 0 cut) in
+        assert (rcv.Session.rreport.Durable.torn_bytes > 0);
+        assert (List.for_all is_replayed rcv.Session.rsessions);
+        assert (
+          List.for_all (fun sid -> state_of srv' sid = List.assoc sid refs.(k)) sids);
+        incr torn_ok;
+        "ok"
+      end
+      else "-"
+    in
+    (* -- bit-flip mid-journal: typed salvage, neighbours untouched -- *)
+    let flip_at, outcome =
+      if k < 2 then ("-", "-")
+      else begin
+        let j = 1 + rand (k - 1) in
+        let plen = String.length records.(j) - 19 in
+        let bit = ((off_of j + 15) * 8) + rand (plen * 8) in
+        let srv', rcv, _ = recover (Durable.flip_bit (prefix k) bit) in
+        let owner = owners.(j) in
+        let ref_ops sid =
+          let c = ref 0 in
+          for i = 1 to k - 1 do
+            if owners.(i) = sid then incr c
+          done;
+          !c
+        in
+        let out = ref "-" in
+        List.iter
+          (fun (s : Session.srecovery) ->
+            if s.Session.rsid <> owner then begin
+              (* isolation: everyone else replays bit-identically *)
+              assert (is_replayed s);
+              assert (state_of srv' s.Session.rsid = List.assoc s.Session.rsid refs.(k))
+            end
+            else
+              match s.Session.rsalvage with
+              | Session.Replayed ->
+                  (* j was the owner's last journaled op: loss at the
+                     very tail is indistinguishable from a torn tail,
+                     but it must still be a strict prefix of the truth *)
+                  assert (s.Session.rops = List.assoc owner base_ops + ref_ops owner - 1);
+                  incr shorter;
+                  out := Printf.sprintf "tail-lossy s%d" owner
+              | Session.Salvaged { dropped } ->
+                  assert (dropped >= 1);
+                  incr salvages;
+                  out := Printf.sprintf "salvaged s%d (-%d ops)" owner dropped
+              | Session.Quarantined_stale ->
+                  incr salvages;
+                  out := Printf.sprintf "quarantined s%d" owner)
+          rcv.Session.rsessions;
+        (string_of_int j, !out)
+      end
+    in
+    Printf.printf "%4d %6d %6s %5s %5s  %-28s %8.2f\n" k
+      (String.length (prefix k))
+      "ident" torn flip_at outcome ms
+  done;
+  (* -- unsalvageable journal: flip the snapshot itself -------------- *)
+  let bit = (15 * 8) + rand ((String.length records.(0) - 19) * 8) in
+  let srv', rcv, _ = recover (Durable.flip_bit (prefix r) bit) in
+  assert (rcv.Session.rreport.Durable.records_skipped >= 1);
+  List.iter
+    (fun (s : Session.srecovery) ->
+      (* no snapshot left to anchor anyone: every session comes back as
+         a typed quarantined ghost, never a crash *)
+      assert (s.Session.rsalvage = Session.Quarantined_stale))
+    rcv.Session.rsessions;
+  ignore srv';
+  Printf.printf
+    "\n%d crash points x {clean, torn, bit-flip}: %d bit-identical, %d torn-tail clean, \
+     %d typed salvages, %d tail-lossy; snapshot-corruption -> %d quarantined ghosts\n"
+    r !identical !torn_ok !salvages !shorter
+    (List.length rcv.Session.rsessions);
+  if Obs.enabled () then begin
+    Obs.Metrics.set_gauge "crash.points" (float_of_int r);
+    Obs.Metrics.set_gauge "crash.identical" (float_of_int !identical);
+    Obs.Metrics.set_gauge "crash.torn_ok" (float_of_int !torn_ok);
+    Obs.Metrics.set_gauge "crash.salvaged" (float_of_int (!salvages + !shorter))
+  end;
+  (* the whole point: every clean prefix recovered bit-identically *)
+  assert (!identical = r && !torn_ok = r - 1)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1332,22 +1628,29 @@ let () =
   let repeat_arg = get "--repeat-plot" args in
   let sessions_arg = get "--sessions" args in
   let campaign_arg = get "--campaign" args in
+  let crash_arg = get "--crash" args in
   (* campaign mode gets the big ring too: flow-event export skips links
      whose endpoint spans were evicted, and the hedge-era spans must
      survive to the end of the timeline for the Perfetto arrows *)
   if
-    campaign_arg <> None
+    campaign_arg <> None || crash_arg <> None
     || (chaos_arg = None && fault_arg = None && repeat_arg = None && sessions_arg = None)
   then Obs.set_ring_capacity (1 lsl 19);
   let mode =
-    match (campaign_arg, sessions_arg, chaos_arg, fault_arg, repeat_arg) with
-    | Some file, _, _, _, _ ->
+    match (crash_arg, campaign_arg, sessions_arg, chaos_arg, fault_arg, repeat_arg) with
+    | Some file, _, _, _, _, _ ->
+        let seed =
+          Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
+        in
+        bench_span "crash" (fun () -> crash_bench ~file ~seed);
+        "crash"
+    | None, Some file, _, _, _, _ ->
         let seed =
           Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
         in
         bench_span "campaign" (fun () -> campaign_bench ~file ~seed);
         "campaign"
-    | None, Some ns, _, _, _ ->
+    | None, None, Some ns, _, _, _ ->
         let n = max 2 (int_of_string ns) in
         let rate =
           Option.value (Option.map float_of_string (get "--fault-rate" args)) ~default:0.2
@@ -1360,14 +1663,14 @@ let () =
         in
         bench_span "sessions" (fun () -> sessions_bench ~n ~rate ~rounds ~seed);
         "sessions"
-    | None, None, Some rs, _, _ ->
+    | None, None, None, Some rs, _, _ ->
         let rates = List.map float_of_string (String.split_on_char ',' rs) in
         let seed =
           Option.value (Option.map int_of_string (get "--seed" args)) ~default:0xC4405
         in
         bench_span "chaos" (fun () -> chaos ~rates ~seed);
         "chaos"
-    | None, None, None, Some rs, _ ->
+    | None, None, None, None, Some rs, _ ->
         let rates = List.map float_of_string (String.split_on_char ',' rs) in
         let profile =
           profile_of_name (Option.value (get "--profile" args) ~default:"kgdb_rpi400")
@@ -1379,14 +1682,14 @@ let () =
         bench_span "degradation" (fun () ->
             degradation ~rates ~profile ~deadline_ms ~seed);
         "smoke"
-    | None, None, None, None, Some it ->
+    | None, None, None, None, None, Some it ->
         let iters = max 1 (int_of_string it) in
         let seed =
           Option.value (Option.map int_of_string (get "--seed" args)) ~default:0x9e3779b9
         in
         bench_span "repeat" (fun () -> repeat_plot ~iters ~seed);
         "repeat"
-    | None, None, None, None, None ->
+    | None, None, None, None, None, None ->
         full_suite ();
         "full"
   in

@@ -206,8 +206,11 @@ the shared target link — a refusal prints a typed reason, never a crash):
   session weight <n>     fair-admission priority (higher sheds later)
   session epoch          open a fresh budget/cache-stat epoch
   server status          targets, health/EWMA, breaker state, sessions
-  server save <file>     snapshot every session's journal (the fleet)
-  server recover <file>  replay a fleet snapshot into this server
+  server save <file>     checksummed durable image of the whole fleet
+  server recover <file>  fsck + replay a durable image (or legacy JSON
+                         snapshot) into this server; corrupt sessions
+                         come back salvaged/quarantined, never a crash
+  server fsck <file>     dry-run scan: checksum report + salvage plan
   vtop [k]               live fleet dashboard: target health, session
                          vitals, SLO burn rates, k slowest traces+links
   link                   show transport health
@@ -622,24 +625,48 @@ let repl_cmd =
           print_string (Session.status srv);
           Ok ()
       | [ "server"; "save"; file ] ->
-          let oc = open_out file in
-          output_string oc (Session.save_fleet srv);
-          close_out oc;
-          Printf.printf "fleet snapshot written to %s\n" file;
+          Durable.write_file file (Session.fleet_image srv);
+          Printf.printf "durable fleet image written to %s\n" file;
           Ok ()
-      | [ "server"; "recover"; file ] ->
-          let ic = open_in file in
-          let json = really_input_string ic (in_channel_length ic) in
-          close_in ic;
-          List.iter
-            (function
-              | Session.Admitted (sid, stale) ->
-                  Printf.printf "session %d replayed (%d stale panes)\n" sid stale
-              | Session.Rejected { reason } ->
-                  Printf.printf "refused: %s\n" (Session.reason_to_string reason))
-            (Session.recover_fleet srv json);
-          Ok ()
-      | "server" :: _ -> Error "usage: server status | save <file> | recover <file>"
+      | [ "server"; "recover"; file ] -> (
+          match Durable.read_file file with
+          | exception Sys_error e -> Error e
+          | image when String.length image > 0 && image.[0] = '{' ->
+              (* a legacy JSON fleet snapshot from an older `server save` *)
+              List.iter
+                (function
+                  | Session.Admitted (sid, stale) ->
+                      Printf.printf "session %d replayed (%d stale panes)\n" sid stale
+                  | Session.Rejected { reason } ->
+                      Printf.printf "refused: %s\n" (Session.reason_to_string reason))
+                (Session.recover_fleet srv image);
+              Ok ()
+          | image ->
+              print_string
+                (Session.recovery_to_string (Session.recover_durable srv image));
+              Ok ())
+      | [ "server"; "fsck"; file ] -> (
+          (* dry run: scan + plan, mutate nothing *)
+          match Durable.read_file file with
+          | exception Sys_error e -> Error e
+          | image ->
+              let report, sessions = Session.fsck_image image in
+              Printf.printf "%s\n" (Durable.report_to_string report);
+              List.iter
+                (fun (s : Session.srecovery) ->
+                  Printf.printf "  would recover %-12s on %-8s as %s (%d ops)\n"
+                    (Printf.sprintf "%S" s.Session.rname)
+                    s.Session.rtarget
+                    (match s.Session.rsalvage with
+                    | Session.Replayed -> "replayed"
+                    | Session.Salvaged { dropped } ->
+                        Printf.sprintf "salvaged (%d ops dropped)" dropped
+                    | Session.Quarantined_stale -> "quarantined [STALE]")
+                    s.Session.rops)
+                sessions;
+              Ok ())
+      | "server" :: _ ->
+          Error "usage: server status | save <file> | recover <file> | fsck <file>"
       | "vtop" :: rest -> (
           match rest with
           | [] ->

@@ -49,6 +49,8 @@ type t = {
   mutable jlen : int;  (** length of [journal_rev] *)
   mutable compact_base : int option;  (** auto-compact threshold; [None] = off *)
   mutable compact_next : int;  (** next length that triggers a compaction *)
+  mutable op_hook : (op -> unit) option;
+      (** fired once per checkpointed op — the session layer's WAL tap *)
 }
 
 let default_compact_threshold = 512
@@ -56,7 +58,7 @@ let default_compact_threshold = 512
 let create () =
   { panes = Hashtbl.create 8; layout = None; next_id = 1; journal_rev = [];
     jlen = 0; compact_base = Some default_compact_threshold;
-    compact_next = default_compact_threshold }
+    compact_next = default_compact_threshold; op_hook = None }
 
 let pane t id =
   match Hashtbl.find_opt t.panes id with
@@ -195,11 +197,14 @@ let set_journal_limit t limit =
   t.compact_base <- limit;
   t.compact_next <- (match limit with Some n -> max 1 n | None -> max_int)
 
+let set_op_hook t h = t.op_hook <- h
+
 let checkpoint t op =
   if Obs.enabled () then
     Obs.instant ~cat:"panel" ~attrs:[ ("op", op_label op) ] "panel.op";
   t.journal_rev <- op :: t.journal_rev;
   t.jlen <- t.jlen + 1;
+  (match t.op_hook with Some h -> h op | None -> ());
   match t.compact_base with
   | Some base when t.jlen > t.compact_next ->
       let compacted = compact_journal (List.rev t.journal_rev) in

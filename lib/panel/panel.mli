@@ -116,8 +116,15 @@ val set_journal_limit : t -> int option -> unit
     compaction cannot shrink churn-free journals). [None] disables
     auto-compaction; the default is 512. *)
 
+val set_op_hook : t -> (op -> unit) option -> unit
+(** Tap every checkpointed op, {e before} any in-place auto-compaction
+    rewrites the journal — the session layer mirrors the stream into
+    its durable WAL.  Replay ({!recover}) builds a fresh panel with no
+    hook, so recovered ops are never re-journaled. *)
+
 val journal_to_json : t -> string
 val journal_of_json : string -> op list
+val op_to_json : op -> string
 
 val mark_all_stale : t -> unit
 (** Called when the target link drops: every pane's graph is now of

@@ -90,8 +90,26 @@ type sess = {
   mutable sreads : int;  (* reads charged this epoch *)
   mutable ssim_ms : float;  (* wire ms charged this epoch *)
   mutable flog_rev : Target.fault list;  (* per-session fault journal, newest first *)
+  mutable opno : int;  (* panel ops journaled to the WAL, a per-session chain *)
   tab : (string, int) Hashtbl.t;  (* private counter namespace *)
 }
+
+(* How a session came through durable recovery (see recover_durable):
+   its op chain replayed whole, a damaged chain replayed up to the
+   break, or its very identity lost to corruption — quarantined on
+   arrival, panes rebuilt [STALE] with ids preserved. *)
+type salvage = Replayed | Salvaged of { dropped : int } | Quarantined_stale
+
+type srecovery = {
+  rsid : sid;
+  rname : string;
+  rtarget : string;
+  rsalvage : salvage;
+  rops : int;  (* ops replayed into the session *)
+  rstale : int;  (* panes stale after recovery *)
+}
+
+type recovery = { rreport : Durable.report; rsessions : srecovery list; rms : float }
 
 type server = {
   kernel : Kstate.t;
@@ -100,6 +118,9 @@ type server = {
   sessions : (sid, sess) Hashtbl.t;
   targets : (string, shared) Hashtbl.t;
   mutable torder : string list;  (* registration order, oldest first *)
+  mutable wal : Durable.t option;  (* attached durable journal, if any *)
+  mutable wal_limit : int;  (* tail records that trigger a snapshot compaction *)
+  mutable last_recovery : recovery option;
 }
 
 let capacity srv = srv.cap
@@ -114,7 +135,8 @@ let default_target = "t0"
 let create ?(capacity = 8) kernel =
   let srv =
     { kernel; cap = capacity; next_sid = 1; sessions = Hashtbl.create 8;
-      targets = Hashtbl.create 4; torder = [] }
+      targets = Hashtbl.create 4; torder = []; wal = None; wal_limit = 256;
+      last_recovery = None }
   in
   Hashtbl.replace srv.targets default_target
     { tname = default_target; target = Khelpers.attach kernel; state = Healthy; rr = 0;
@@ -182,6 +204,106 @@ let reads_used srv sid =
   match Hashtbl.find_opt srv.sessions sid with None -> 0 | Some s -> s.sreads
 
 (* ------------------------------------------------------------------ *)
+(* Durable WAL journaling.
+
+   When a Durable store is attached, every fleet lifecycle event
+   (open/close/budget/quarantine) and every checkpointed panel op is
+   appended as a typed record; past [wal_limit] tail records the stream
+   compacts into a snapshot segment (a save_fleet image — its journals
+   already Jreserve-compacted by the panel layer) plus a fresh tail.
+   Recovery (recover_durable, further down) fsck's the image and
+   replays per-session op chains. *)
+
+let faults_json (f : Transport.faults) =
+  Printf.sprintf "{\"stall\":%g,\"drop\":%g,\"disconnect\":%g}" f.Transport.stall_rate
+    f.Transport.drop_rate f.Transport.disconnect_rate
+
+let budget_json b =
+  let opt_i = function None -> "null" | Some n -> string_of_int n in
+  let opt_f = function None -> "null" | Some x -> Printf.sprintf "%g" x in
+  Printf.sprintf "{\"max_reads\":%s,\"max_sim_ms\":%s,\"plot_deadline_ms\":%s,\"retry_burst\":%s}"
+    (opt_i b.max_reads) (opt_f b.max_sim_ms) (opt_f b.plot_deadline_ms)
+    (opt_i b.retry_burst)
+
+(* Record kinds.  The payloads are JSON; the framing/checksums live in
+   {!Durable}, which treats both kind and payload as opaque. *)
+let k_open = 1
+let k_close = 2
+let k_budget = 3
+let k_quarantine = 4
+let k_op = 5
+let k_snapshot = 6
+
+let wal_append srv ~kind payload =
+  match srv.wal with
+  | None -> ()
+  | Some d -> ignore (Durable.append d ~kind ~payload)
+
+(* save_fleet is defined with the rest of the snapshot code below; the
+   journaling hooks only need to call it *)
+let wal_snapshot_ref : (server -> unit) ref = ref (fun _ -> ())
+
+let maybe_snapshot srv =
+  match srv.wal with
+  | Some d when Durable.tail_records d > srv.wal_limit -> !wal_snapshot_ref srv
+  | _ -> ()
+
+(* Mirror the session's panel-op stream into the WAL.  Re-armed after
+   every admitted op because an in-session recovery replaces the panel
+   object (and with it the hook). *)
+let arm_wal_hook srv sess =
+  if srv.wal <> None then
+    Panel.set_op_hook sess.vis.Visualinux.panel
+      (Some
+         (fun op ->
+           sess.opno <- sess.opno + 1;
+           wal_append srv ~kind:k_op
+             (Printf.sprintf "{\"sid\":%d,\"opno\":%d,\"op\":%s}" sess.sid sess.opno
+                (Panel.op_to_json op));
+           maybe_snapshot srv))
+
+let wal_open_payload sess =
+  Printf.sprintf "{\"sid\":%d,\"name\":\"%s\",\"target\":\"%s\",\"weight\":%d,\"budget\":%s,\"faults\":%s}"
+    sess.sid (Vgraph.json_escape sess.name)
+    (Vgraph.json_escape sess.shared.tname)
+    sess.weight (budget_json sess.sbudget) (faults_json sess.sfaults)
+
+let attach_wal srv d =
+  srv.wal <- Some d;
+  !wal_snapshot_ref srv;
+  Hashtbl.iter (fun _ sess -> arm_wal_hook srv sess) srv.sessions
+
+let detach_wal srv =
+  Hashtbl.iter (fun _ sess -> Panel.set_op_hook sess.vis.Visualinux.panel None) srv.sessions;
+  srv.wal <- None
+
+let wal_of srv = srv.wal
+let set_wal_snapshot_limit srv n = srv.wal_limit <- max 1 n
+let last_recovery srv = srv.last_recovery
+
+let corrupt_wal srv =
+  match srv.wal with
+  | None -> false
+  | Some d ->
+      (* prefer a journaled op whose owner has a {e later} op on record:
+         the fsck gap then surfaces as a hole in that session's opno
+         chain and the salvage is typed.  Corrupting a session's final
+         op is indistinguishable from a (legitimately lossy) torn tail. *)
+      let sid_of payload =
+        try Scanf.sscanf payload "{\"sid\":%d" (fun s -> s) with _ -> -1
+      in
+      let ops =
+        List.filter_map
+          (fun (k, p) -> if k = k_op then Some (sid_of p) else None)
+          (Durable.record_log d)
+      in
+      let rec pick i = function
+        | [] -> None
+        | s :: rest -> if List.mem s rest then Some i else pick (i + 1) rest
+      in
+      Durable.corrupt ~kind:k_op ?victim:(pick 0 ops) d
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
 let live_sids_on srv sh =
@@ -198,7 +320,7 @@ let mk_session srv ~sid ~budget ~faults ~weight ~tname name =
   let sess =
     { sid; name; vis; shared = sh; sfaults = faults; sbudget = budget;
       weight = max 1 weight; rb_tokens = Option.value ~default:0 budget.retry_burst;
-      sreads = 0; ssim_ms = 0.; flog_rev = []; tab = Hashtbl.create 16 }
+      sreads = 0; ssim_ms = 0.; flog_rev = []; opno = 0; tab = Hashtbl.create 16 }
   in
   Hashtbl.replace srv.sessions sid sess;
   if sid >= srv.next_sid then srv.next_sid <- sid + 1;
@@ -216,6 +338,10 @@ let open_session ?(budget = unlimited) ?(faults = Transport.no_faults) ?(weight 
       Obs.instant ~cat:"session"
         ~attrs:[ ("sid", string_of_int sess.sid); ("name", name); ("target", target) ]
         "session.open";
+    if srv.wal <> None then begin
+      wal_append srv ~kind:k_open (wal_open_payload sess);
+      arm_wal_hook srv sess
+    end;
     Admitted sess.sid
   end
 
@@ -223,6 +349,8 @@ let close_session srv sid =
   match Hashtbl.find_opt srv.sessions sid with
   | None -> ()
   | Some sess ->
+      wal_append srv ~kind:k_close (Printf.sprintf "{\"sid\":%d}" sid);
+      Panel.set_op_hook sess.vis.Visualinux.panel None;
       Hashtbl.remove srv.sessions sid;
       sessions_gauge srv;
       let sh = sess.shared in
@@ -253,7 +381,9 @@ let set_budget srv sid b =
   Option.iter
     (fun s ->
       s.sbudget <- b;
-      s.rb_tokens <- Option.value ~default:0 b.retry_burst)
+      s.rb_tokens <- Option.value ~default:0 b.retry_burst;
+      wal_append srv ~kind:k_budget
+        (Printf.sprintf "{\"sid\":%d,\"budget\":%s}" sid (budget_json b)))
     (Hashtbl.find_opt srv.sessions sid)
 
 let budget_of srv sid =
@@ -311,6 +441,9 @@ let enter_quarantine srv sh =
          re-admission that eventually follows can link back to it *)
       sh.qspan <- Obs.Trace.current_span ();
       obs_state sh "quarantine.enter";
+      wal_append srv ~kind:k_quarantine
+        (Printf.sprintf "{\"target\":\"%s\",\"prober\":%d}" (Vgraph.json_escape sh.tname)
+           prober);
       Hashtbl.iter
         (fun sid s ->
           if s.shared == sh && sid <> prober then begin
@@ -763,6 +896,9 @@ let admit srv sid kind f =
                         run_isolated srv ~route sess (fun () -> f sess)))
               in
               bump sess kind;
+              (* an in-session recovery replaces the panel object; keep
+                 the WAL tap on whatever panel the op left behind *)
+              arm_wal_hook srv sess;
               Admitted r))
 
 (* ------------------------------------------------------------------ *)
@@ -798,29 +934,30 @@ let refresh_stale srv sid =
 (* ------------------------------------------------------------------ *)
 (* Fleet snapshot / recovery *)
 
-let faults_json (f : Transport.faults) =
-  Printf.sprintf "{\"stall\":%g,\"drop\":%g,\"disconnect\":%g}" f.Transport.stall_rate
-    f.Transport.drop_rate f.Transport.disconnect_rate
-
-let budget_json b =
-  let opt_i = function None -> "null" | Some n -> string_of_int n in
-  let opt_f = function None -> "null" | Some x -> Printf.sprintf "%g" x in
-  Printf.sprintf "{\"max_reads\":%s,\"max_sim_ms\":%s,\"plot_deadline_ms\":%s,\"retry_burst\":%s}"
-    (opt_i b.max_reads) (opt_f b.max_sim_ms) (opt_f b.plot_deadline_ms)
-    (opt_i b.retry_burst)
-
 let save_fleet srv =
   let one sid =
     let sess = Hashtbl.find srv.sessions sid in
     Printf.sprintf
-      "{\"sid\":%d,\"name\":\"%s\",\"target\":\"%s\",\"weight\":%d,\"budget\":%s,\"faults\":%s,\"jn\":%s}"
+      "{\"sid\":%d,\"name\":\"%s\",\"target\":\"%s\",\"weight\":%d,\"opno\":%d,\"budget\":%s,\"faults\":%s,\"jn\":%s}"
       sid (Vgraph.json_escape sess.name)
       (Vgraph.json_escape sess.shared.tname)
-      sess.weight (budget_json sess.sbudget) (faults_json sess.sfaults)
+      sess.weight sess.opno (budget_json sess.sbudget) (faults_json sess.sfaults)
       (Panel.journal_to_json sess.vis.Visualinux.panel)
   in
   Printf.sprintf "{\"fleet\":[%s]}"
     (String.concat "," (List.map one (session_ids srv)))
+
+let wal_snapshot srv =
+  match srv.wal with
+  | None -> ()
+  | Some d -> Durable.compact d ~kind:k_snapshot ~payload:(save_fleet srv)
+
+let () = wal_snapshot_ref := wal_snapshot
+
+let fleet_image srv =
+  let d = Durable.create () in
+  ignore (Durable.append d ~kind:k_snapshot ~payload:(save_fleet srv));
+  Durable.contents d
 
 let budget_of_json j =
   let f k = match Json.member k j with Some (Json.Float x) -> Some x
@@ -839,6 +976,40 @@ let faults_of_json j =
   { Transport.stall_rate = f "stall" 0.; drop_rate = f "drop" 0.;
     disconnect_rate = f "disconnect" 0. }
 
+(* One saved session, as parsed from a save_fleet snapshot entry or a
+   WAL k_open payload (which just lacks "opno" and "jn"). *)
+type fleet_entry = {
+  fe_sid : int;
+  fe_name : string;
+  fe_target : string;
+  fe_weight : int;
+  fe_budget : budget;
+  fe_faults : Transport.faults;
+  fe_ops : Panel.op list;
+  fe_opno : int;
+}
+
+let fleet_entry_of_json e =
+  let str k = Option.map Json.to_str (Json.member k e) in
+  let int k d = match Json.member k e with Some (Json.Int n) -> n | _ -> d in
+  let ops =
+    match Json.member "jn" e with
+    | Some jn -> Panel.journal_of_json (Json.to_string jn)
+    | None -> []
+  in
+  { fe_sid = int "sid" 0;
+    fe_name = Option.value ~default:"?" (str "name");
+    fe_target = Option.value ~default:default_target (str "target");
+    fe_weight = int "weight" 1;
+    fe_budget =
+      (match Json.member "budget" e with Some b -> budget_of_json b | None -> unlimited);
+    fe_faults =
+      (match Json.member "faults" e with
+      | Some f -> faults_of_json f
+      | None -> Transport.no_faults);
+    fe_ops = ops;
+    fe_opno = int "opno" (List.length ops) }
+
 let recover_fleet srv json =
   let j = Json.parse json in
   let entries =
@@ -846,34 +1017,251 @@ let recover_fleet srv json =
   in
   List.map
     (fun e ->
-      let str k = Option.map Json.to_str (Json.member k e) in
-      let name = Option.value ~default:"?" (str "name") in
-      let tname = Option.value ~default:default_target (str "target") in
-      let budget =
-        match Json.member "budget" e with Some b -> budget_of_json b | None -> unlimited
-      in
-      let faults =
-        match Json.member "faults" e with
-        | Some f -> faults_of_json f
-        | None -> Transport.no_faults
-      in
-      let weight =
-        match Json.member "weight" e with Some (Json.Int w) -> w | _ -> 1
-      in
-      let ops =
-        match Json.member "jn" e with
-        | Some jn -> Panel.journal_of_json (Json.to_string jn)
-        | None -> []
-      in
-      match open_session ~budget ~faults ~weight ~target:tname srv name with
+      let fe = fleet_entry_of_json e in
+      match
+        open_session ~budget:fe.fe_budget ~faults:fe.fe_faults ~weight:fe.fe_weight
+          ~target:fe.fe_target srv fe.fe_name
+      with
       | Rejected r -> Rejected r
       | Admitted sid -> (
           match
-            admit srv sid "recovers" (fun sess -> Visualinux.recover ~ops sess.vis)
+            admit srv sid "recovers" (fun sess ->
+                Visualinux.recover ~ops:fe.fe_ops sess.vis)
           with
           | Rejected r -> Rejected r
           | Admitted stale -> Admitted (sid, stale)))
     entries
+
+(* ------------------------------------------------------------------ *)
+(* Durable recovery: fsck the image, then replay per-session op chains.
+
+   The plan phase is pure: start from the last intact snapshot record,
+   apply the tail events, and track each session's opno chain.  A
+   contiguous chain replays whole; a chain with a hole (fsck skipped
+   the record) is cut at the break — replaying past a missing
+   pane-creating op would shift every later pane id, so the intact
+   prefix is replayed and the rest dropped, panes marked [STALE].  Ops
+   whose open/snapshot record was itself destroyed belong to a "ghost"
+   session: identity lost, it comes back quarantined with stale panes
+   while its neighbours recover bit-identically. *)
+
+type plan_entry = {
+  mutable e_cfg : fleet_entry;
+  mutable e_ops_rev : Panel.op list;  (* chain-intact ops, newest first *)
+  mutable e_next : int;  (* next expected opno *)
+  mutable e_dropped : int;  (* ops dropped: gap, duplicate, post-break *)
+  mutable e_ghost : bool;  (* config lost to corruption *)
+  mutable e_broken : bool;  (* opno chain broke mid-stream *)
+}
+
+let plan_image image =
+  let report, recs = Durable.fsck image in
+  let snap_idx = ref (-1) in
+  List.iteri
+    (fun i (r : Durable.record) -> if r.Durable.rkind = k_snapshot then snap_idx := i)
+    recs;
+  let entries : (int, plan_entry) Hashtbl.t = Hashtbl.create 8 in
+  let add_entry ?(ghost = false) fe =
+    Hashtbl.replace entries fe.fe_sid
+      { e_cfg = fe; e_ops_rev = List.rev fe.fe_ops; e_next = fe.fe_opno + 1;
+        e_dropped = 0; e_ghost = ghost; e_broken = false }
+  in
+  let ghost sid =
+    add_entry ~ghost:true
+      { fe_sid = sid; fe_name = Printf.sprintf "sid%d?" sid;
+        fe_target = default_target; fe_weight = 1; fe_budget = unlimited;
+        fe_faults = Transport.no_faults; fe_ops = []; fe_opno = 0 };
+    Hashtbl.find entries sid
+  in
+  (* base state: the last snapshot that survived fsck (if any) *)
+  (if !snap_idx >= 0 then
+     let snap = List.nth recs !snap_idx in
+     try
+       match Json.member "fleet" (Json.parse snap.Durable.rpayload) with
+       | Some (Json.List l) -> List.iter (fun e -> add_entry (fleet_entry_of_json e)) l
+       | _ -> ()
+     with _ -> ());
+  (* tail events *)
+  let sid_of j = match Json.member "sid" j with Some (Json.Int s) -> Some s | _ -> None in
+  let apply_op payload =
+    let j = Json.parse payload in
+    match sid_of j with
+    | None -> ()
+    | Some sid -> (
+        let opno = match Json.member "opno" j with Some (Json.Int n) -> n | _ -> 0 in
+        let op =
+          match Json.member "op" j with
+          | Some o -> (
+              match
+                Panel.journal_of_json
+                  (Printf.sprintf "{\"journal\":[%s]}" (Json.to_string o))
+              with
+              | [ op ] -> Some op
+              | _ -> None)
+          | None -> None
+        in
+        let e = match Hashtbl.find_opt entries sid with Some e -> e | None -> ghost sid in
+        if e.e_ghost then (
+          (* a ghost's ids are untrustworthy anyway: keep what we have *)
+          match op with
+          | Some op -> e.e_ops_rev <- op :: e.e_ops_rev
+          | None -> e.e_dropped <- e.e_dropped + 1)
+        else if e.e_broken then e.e_dropped <- e.e_dropped + 1
+        else
+          match op with
+          | Some op when opno = e.e_next ->
+              e.e_ops_rev <- op :: e.e_ops_rev;
+              e.e_next <- e.e_next + 1
+          | _ ->
+              (* hole or duplicate in the chain: cut here *)
+              e.e_broken <- true;
+              e.e_dropped <- e.e_dropped + 1)
+  in
+  List.iteri
+    (fun i (r : Durable.record) ->
+      if i > !snap_idx then
+        try
+          if r.Durable.rkind = k_open then
+            add_entry (fleet_entry_of_json (Json.parse r.Durable.rpayload))
+          else if r.Durable.rkind = k_close then (
+            match sid_of (Json.parse r.Durable.rpayload) with
+            | Some sid -> Hashtbl.remove entries sid
+            | None -> ())
+          else if r.Durable.rkind = k_budget then (
+            let j = Json.parse r.Durable.rpayload in
+            match (sid_of j, Json.member "budget" j) with
+            | Some sid, Some b ->
+                Option.iter
+                  (fun e -> e.e_cfg <- { e.e_cfg with fe_budget = budget_of_json b })
+                  (Hashtbl.find_opt entries sid)
+            | _ -> ())
+          else if r.Durable.rkind = k_op then apply_op r.Durable.rpayload
+          (* k_quarantine and unknown kinds are informational *)
+        with _ -> ())
+    recs;
+  let plan = Hashtbl.fold (fun _ e acc -> e :: acc) entries [] in
+  (report, List.sort (fun a b -> compare a.e_cfg.fe_sid b.e_cfg.fe_sid) plan)
+
+let classify e =
+  if e.e_ghost then Quarantined_stale
+  else if e.e_broken || e.e_dropped > 0 then Salvaged { dropped = e.e_dropped }
+  else Replayed
+
+let fsck_image image =
+  let report, plan = plan_image image in
+  ( report,
+    List.map
+      (fun e ->
+        { rsid = e.e_cfg.fe_sid; rname = e.e_cfg.fe_name; rtarget = e.e_cfg.fe_target;
+          rsalvage = classify e; rops = List.length e.e_ops_rev; rstale = 0 })
+      plan )
+
+let recover_durable srv image =
+  let t0 = Obs.Clock.now_ms () in
+  let report, plan = plan_image image in
+  (* rebuild a layout with every extraction refused: panes exist, ids
+     preserved by replay order, all [STALE] — no admission, no wire *)
+  let stale_rebuild sid ops =
+    match Hashtbl.find_opt srv.sessions sid with
+    | None -> 0
+    | Some sess ->
+        let panel, _ = Panel.recover ~extract:(fun _ -> None) ops in
+        sess.vis.Visualinux.panel <- panel;
+        Panel.mark_all_stale panel;
+        bump sess "recovers";
+        bump sess "stale.epochs";
+        List.length (Panel.stale_ids panel)
+  in
+  let run_entry e =
+    let fe = e.e_cfg in
+    let ops = List.rev e.e_ops_rev in
+    let target =
+      if Hashtbl.mem srv.targets fe.fe_target then fe.fe_target else default_target
+    in
+    Obs.with_span ~cat:"session"
+      ~attrs:[ ("name", fe.fe_name); ("target", target) ]
+      "session.recovered"
+      (fun () ->
+        match
+          open_session ~budget:fe.fe_budget ~faults:fe.fe_faults ~weight:fe.fe_weight
+            ~target srv fe.fe_name
+        with
+        | Rejected _ ->
+            (* capacity: the entry cannot come back at all *)
+            { rsid = 0; rname = fe.fe_name; rtarget = target;
+              rsalvage = Quarantined_stale; rops = 0; rstale = 0 }
+        | Admitted sid ->
+            Option.iter
+              (fun s -> s.opno <- (if e.e_ghost then List.length ops else e.e_next - 1))
+              (Hashtbl.find_opt srv.sessions sid);
+            let salv = classify e in
+            let rstale =
+              if e.e_ghost then stale_rebuild sid ops
+              else
+                match
+                  admit srv sid "recovers" (fun sess -> Visualinux.recover ~ops sess.vis)
+                with
+                | Admitted stale ->
+                    if salv <> Replayed then (
+                      match Hashtbl.find_opt srv.sessions sid with
+                      | Some sess ->
+                          (* data was lost: every surviving pane may
+                             predate the crash point — say so *)
+                          Panel.mark_all_stale sess.vis.Visualinux.panel;
+                          bump sess "stale.epochs";
+                          List.length (Panel.stale_ids sess.vis.Visualinux.panel)
+                      | None -> stale)
+                    else stale
+                | Rejected _ ->
+                    (* the target is quarantined mid-recovery: serve the
+                       layout [STALE] like any other quarantined session *)
+                    stale_rebuild sid ops
+            in
+            { rsid = sid; rname = fe.fe_name; rtarget = target; rsalvage = salv;
+              rops = List.length ops; rstale })
+  in
+  let rsessions = List.map run_entry plan in
+  let rms = Obs.Clock.elapsed_ms t0 in
+  let rcv = { rreport = report; rsessions; rms } in
+  srv.last_recovery <- Some rcv;
+  if Obs.enabled () then begin
+    let sum f = List.fold_left (fun a r -> a + f r) 0 rsessions in
+    let replayed_ops = sum (fun r -> match r.rsalvage with Replayed -> r.rops | _ -> 0) in
+    let salvaged_ops = sum (fun r -> match r.rsalvage with Replayed -> 0 | _ -> r.rops) in
+    let dropped = List.fold_left (fun a e -> a + e.e_dropped) 0 plan in
+    let degraded = sum (fun r -> if r.rsalvage = Replayed then 0 else 1) in
+    Obs.Metrics.incr ~by:replayed_ops "recovery.records_replayed";
+    Obs.Metrics.incr ~by:(report.Durable.records_skipped + dropped) "recovery.records_skipped";
+    Obs.Metrics.incr ~by:salvaged_ops "recovery.records_salvaged";
+    Obs.Metrics.incr ~by:(List.length rsessions) "recovery.sessions_total";
+    Obs.Metrics.incr ~by:(List.length rsessions - degraded) "recovery.sessions_replayed";
+    Obs.Metrics.incr ~by:degraded "recovery.sessions_degraded";
+    Obs.Metrics.observe "recovery.ms" rms
+  end;
+  rcv
+
+let salvage_label = function
+  | Replayed -> "replayed"
+  | Salvaged { dropped } ->
+      Printf.sprintf "salvaged (%d op%s dropped)" dropped (if dropped = 1 then "" else "s")
+  | Quarantined_stale -> "quarantined [STALE]"
+
+let recovery_to_string r =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "%s\n" (Durable.report_to_string r.rreport);
+  List.iter
+    (fun s ->
+      Printf.bprintf b "session %d %-12s on %-6s: %-24s %d op%s, %d stale pane%s\n" s.rsid
+        (Printf.sprintf "%S" s.rname)
+        s.rtarget (salvage_label s.rsalvage) s.rops
+        (if s.rops = 1 then "" else "s")
+        s.rstale
+        (if s.rstale = 1 then "" else "s"))
+    r.rsessions;
+  Printf.bprintf b "%d session%s recovered in %.1f ms\n" (List.length r.rsessions)
+    (if List.length r.rsessions = 1 then "" else "s")
+    r.rms;
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Status *)
@@ -981,7 +1369,15 @@ let register_slos srv =
             Obs.Slo.Gauge_le
               { gauge = Printf.sprintf "health.%s.state" tname; threshold = 0.5 };
           otarget = 0.90 })
-    srv.torder
+    srv.torder;
+  (* fleet-wide: recoveries must bring sessions back whole, not
+     salvaged or quarantined *)
+  Obs.Slo.register
+    { Obs.Slo.oname = "fleet.recovery";
+      okind =
+        Obs.Slo.Bad_total
+          { bad = "recovery.sessions_degraded"; total = "recovery.sessions_total" };
+      otarget = 0.90 }
 
 (* The worst SLO row for one session: (max burn, worst severity). *)
 let slo_worst_for prefix =
@@ -1046,6 +1442,18 @@ let vtop ?(top = 5) srv =
         lat wire cs.Target.hits tot
         (if tot = 0 then "" else Printf.sprintf " (%.0f%%)" (100. *. float_of_int cs.Target.hits /. float_of_int tot)))
     srv.torder;
+  (* --- last durable recovery, if any --- *)
+  (match srv.last_recovery with
+  | None -> ()
+  | Some r ->
+      let n l = List.length (List.filter l r.rsessions) in
+      Printf.bprintf b
+        "recovery: %d replayed / %d salvaged / %d quarantined | %d records ok, %d skipped, %d torn bytes | %.1f ms\n"
+        (n (fun s -> s.rsalvage = Replayed))
+        (n (fun s -> match s.rsalvage with Salvaged _ -> true | _ -> false))
+        (n (fun s -> s.rsalvage = Quarantined_stale))
+        r.rreport.Durable.records_ok r.rreport.Durable.records_skipped
+        r.rreport.Durable.torn_bytes r.rms);
   (* --- sessions --- *)
   let slo_rows = Obs.Slo.status () in
   Printf.bprintf b "%-4s %-10s %-6s %-2s %-6s %-6s %-5s %-12s %-6s %s\n" "SID"

@@ -242,6 +242,74 @@ val recover_fleet : server -> string -> (sid * int) outcome list
     deterministic re-extraction.  Returns, per saved session, the new
     sid and its stale-pane count. *)
 
+(* ------------------------------------------------------------------ *)
+(** {1 Durable fleet state (crash consistency)}
+
+    Attach a {!Durable} store and every fleet lifecycle event
+    (open/close/budget/quarantine) plus every checkpointed panel op is
+    appended as a checksummed, generation-stamped WAL record; past the
+    snapshot limit the stream compacts into a snapshot segment (a
+    {!save_fleet} image, its journals already [Jreserve]-compacted)
+    plus a fresh tail.  {!recover_durable} is the fsck-style inverse:
+    it scans whatever bytes survived a crash, replays each session's
+    intact op chain, and degrades the rest to a {e typed} per-session
+    outcome — never an exception, never cross-session contamination. *)
+
+val attach_wal : server -> Durable.t -> unit
+(** Start journaling into [d]: writes a snapshot of the current fleet
+    as the first segment (dropping any prior store contents), then taps
+    every session's panel-op stream. *)
+
+val detach_wal : server -> unit
+val wal_of : server -> Durable.t option
+
+val set_wal_snapshot_limit : server -> int -> unit
+(** Tail records that trigger a snapshot compaction (default 256,
+    clamped to >= 1). *)
+
+val wal_snapshot : server -> unit
+(** Force a snapshot compaction now (no-op without an attached WAL). *)
+
+val fleet_image : server -> string
+(** A one-record durable image of the fleet (a snapshot, framed and
+    checksummed) — what [server save] writes to disk. *)
+
+val corrupt_wal : server -> bool
+(** Flip one seeded bit inside an attached WAL's op record — the
+    campaign DSL's [corrupt_journal] fault.  [false] without a WAL. *)
+
+(** How a session came through durable recovery: its op chain replayed
+    whole; a damaged chain cut at the first hole (replaying past a
+    missing pane-creating op would shift every later pane id) with
+    [dropped] ops lost and panes marked [STALE]; or its open/snapshot
+    record destroyed outright — identity lost, the session returns
+    quarantined with [STALE] panes rebuilt without touching the wire. *)
+type salvage = Replayed | Salvaged of { dropped : int } | Quarantined_stale
+
+type srecovery = {
+  rsid : sid;
+  rname : string;
+  rtarget : string;
+  rsalvage : salvage;
+  rops : int;  (** ops replayed into the session *)
+  rstale : int;  (** panes stale after recovery *)
+}
+
+type recovery = { rreport : Durable.report; rsessions : srecovery list; rms : float }
+
+val recover_durable : server -> string -> recovery
+(** Fsck [image] and rebuild the fleet into [server] (a fresh one over
+    the same kernel, same target names).  Emits a [session.recovered]
+    span per session and the [recovery.*] counters; never raises on
+    corrupt input. *)
+
+val fsck_image : string -> Durable.report * srecovery list
+(** The dry run: fsck + the per-session plan, nothing replayed
+    ([rstale] is 0).  What [server fsck] prints. *)
+
+val recovery_to_string : recovery -> string
+val last_recovery : server -> recovery option
+
 val status : server -> string
 (** Human-readable multi-line server summary (targets, health,
     sessions, budgets) for the repl. *)

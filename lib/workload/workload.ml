@@ -294,6 +294,8 @@ end
     at <op> fault_rate <target> <r>  # base wire weather at rate r
     at <op> bit_flip_storm <target>  # memory corruption burst
     at <op> recover <target>         # clear faults + injection, reconnect
+    crash_at <op>                    # kill the fleet; recover from the WAL
+    corrupt_journal <op>             # flip a bit in a committed WAL record
     expect <key> <float>             # gate checked by the bench
     v} *)
 module Campaign = struct
@@ -304,6 +306,8 @@ module Campaign = struct
     | Fault_rate of string * float
     | Bit_flip_storm of string
     | Recover of string
+    | Crash  (* kill the fleet; the bench recovers it from the durable WAL *)
+    | Corrupt_journal  (* flip a seeded bit in a committed WAL record *)
 
   type t = {
     cname : string;
@@ -324,6 +328,8 @@ module Campaign = struct
     | Fault_rate (t, r) -> Printf.sprintf "fault_rate %s %g" t r
     | Bit_flip_storm t -> Printf.sprintf "bit_flip_storm %s" t
     | Recover t -> Printf.sprintf "recover %s" t
+    | Crash -> "crash (recover from durable WAL)"
+    | Corrupt_journal -> "corrupt_journal"
 
   let parse text =
     let err ln msg = raise (Parse_error { line = ln; msg }) in
@@ -377,6 +383,8 @@ module Campaign = struct
                  | _ -> err ln "unknown event (want phase/link_down/link_up/fault_rate/bit_flip_storm/recover)"
                in
                events := (mark, ev) :: !events
+           | [ "crash_at"; n ] -> events := (num ln n, Crash) :: !events
+           | [ "corrupt_journal"; n ] -> events := (num ln n, Corrupt_journal) :: !events
            | [ "expect"; k; v ] -> expects := (k, flt ln v) :: !expects
            | w :: _ -> err ln (Printf.sprintf "unknown directive %S" w));
     {

@@ -101,6 +101,12 @@ module Campaign : sig
     | Fault_rate of string * float
     | Bit_flip_storm of string
     | Recover of string
+    | Crash
+        (** [crash_at <op>]: kill the fleet before that op; the bench
+            recovers it from the durable WAL *)
+    | Corrupt_journal
+        (** [corrupt_journal <op>]: flip a seeded bit in a committed
+            WAL record — silent corruption the later crash must survive *)
 
   type t = {
     cname : string;

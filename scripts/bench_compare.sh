@@ -158,4 +158,38 @@ else
     fi
 fi
 
+# The ISSUE 9 crash-torture artifact: every identity/salvage assert
+# runs in-process; here we require the artifact to prove the torture
+# actually covered crash points, salvaged corruption, and timed its
+# recoveries — an empty or stale BENCH_crash.json fails the build.
+CRASH="BENCH_crash.json"
+if [ ! -f "$CRASH" ]; then
+    echo "bench-compare: $CRASH missing (run make crash-smoke first)"
+    fail=1
+else
+    points=$(grep -o '"crash.points":[0-9.eE+-]*' "$CRASH" | cut -d: -f2)
+    if [ -z "$points" ]; then
+        echo "bench-compare: $CRASH has no crash.points gauge"
+        fail=1
+    else
+        awk -v p="$points" 'BEGIN {
+            printf "bench-compare: crash.points             %10.0f    (need     >= 1)\n", p;
+            exit (p >= 1) ? 0 : 1;
+        }' || fail=1
+    fi
+    for g in crash.identical crash.salvaged; do
+        grep -q "\"$g\":" "$CRASH" \
+            || { echo "bench-compare: $CRASH has no $g gauge"; fail=1; }
+    done
+    recov=$(histo_field "crash.recover_ms" "count" < "$CRASH")
+    if [ -z "$recov" ] || [ "$recov" = "0" ]; then
+        echo "bench-compare: $CRASH has no crash.recover_ms histogram samples"
+        fail=1
+    else
+        echo "bench-compare: $CRASH crash.recover_ms histogram present ($recov recoveries)"
+    fi
+    grep -q '"recovery.records_replayed":' "$CRASH" \
+        || { echo "bench-compare: $CRASH has no recovery.records_replayed counter"; fail=1; }
+fi
+
 exit "$fail"

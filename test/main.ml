@@ -21,6 +21,7 @@ let () =
       ("vchat", Test_vchat.suite);
       ("json+protocol", Test_json_protocol.suite);
       ("session", Test_session.suite);
+      ("durable", Test_durable.suite);
       ("health", Test_health.suite);
       ("trace", Test_trace.suite);
       ("integration", Test_visualinux.suite) ]
