@@ -22,6 +22,7 @@ let () =
       ("json+protocol", Test_json_protocol.suite);
       ("session", Test_session.suite);
       ("durable", Test_durable.suite);
+      ("par", Test_par.suite);
       ("health", Test_health.suite);
       ("trace", Test_trace.suite);
       ("integration", Test_visualinux.suite) ]

@@ -1,0 +1,196 @@
+(* Parallel extraction: the cross-domain identity contract, pool
+   semantics (batches, streaming, charge), and the schedule model. *)
+
+let figs () =
+  List.filter
+    (fun (sc : Scripts.script) -> List.mem sc.Scripts.fig [ "3-6"; "4-5"; "19-1/2" ])
+    Scripts.table2
+
+type outcome = {
+  renders : string list;
+  journal : string list;
+  reads : int;
+  bytes : int;
+  fired : int;
+}
+
+(* One full extraction pass over a fresh kernel, mirroring the bench's
+   par harness: kgdb-priced transport, optional split chaos, optional
+   read-failure injection, every figure plotted through [pool]. *)
+let run_figs ~pool_size ~chaos ~inject () =
+  let k = Kstate.boot () in
+  let w = Workload.create k in
+  Workload.run ~iters:12 w;
+  let tr = Transport.create ~seed:7 Target.kgdb_rpi400 in
+  let s = Visualinux.attach ~transport:tr k in
+  let tgt = s.Visualinux.target in
+  let pool = Viewcl.Dpool.create pool_size in
+  let c =
+    if chaos then begin
+      let c = Workload.Chaos.create ~seed:11 w ~rate:0.3 in
+      Workload.Chaos.arm_split c tgt;
+      Some c
+    end
+    else None
+  in
+  if inject then Kmem.inject_read_failures k.Kstate.ctx.Kcontext.mem ~seed:5 0.02;
+  let renders =
+    List.map
+      (fun (sc : Scripts.script) ->
+        match Viewcl.run ~cfg:s.Visualinux.cfg ~pool tgt sc.Scripts.source with
+        | res -> Render.ascii res.Viewcl.graph
+        | exception Viewcl.Error e -> "ERROR: " ^ e)
+      (figs ())
+  in
+  if chaos then Workload.Chaos.disarm tgt;
+  if inject then Kmem.clear_injection k.Kstate.ctx.Kcontext.mem;
+  let st = Target.stats tgt in
+  let r =
+    { renders;
+      journal = List.map Target.fault_to_string (Target.faults tgt);
+      reads = st.Target.reads;
+      bytes = st.Target.bytes;
+      fired =
+        (match c with
+        | Some c -> Workload.Chaos.fired c + Workload.Chaos.split_fired c
+        | None -> 0) }
+  in
+  Viewcl.Dpool.shutdown pool;
+  r
+
+let check_identity name a b =
+  Alcotest.(check (list string)) (name ^ ": renders") a.renders b.renders;
+  Alcotest.(check (list string)) (name ^ ": journal") a.journal b.journal;
+  Alcotest.(check int) (name ^ ": reads") a.reads b.reads;
+  Alcotest.(check int) (name ^ ": bytes") a.bytes b.bytes;
+  Alcotest.(check int) (name ^ ": fired") a.fired b.fired
+
+let test_identity_plain () =
+  let r1 = run_figs ~pool_size:1 ~chaos:false ~inject:false () in
+  let r2 = run_figs ~pool_size:2 ~chaos:false ~inject:false () in
+  let r4 = run_figs ~pool_size:4 ~chaos:false ~inject:false () in
+  check_identity "1v2" r1 r2;
+  check_identity "1v4" r1 r4;
+  (* the classic unsharded interpreter is a third route to the same
+     renders: lane merge must be invisible in the graph *)
+  let k = Kstate.boot () in
+  let w = Workload.create k in
+  Workload.run ~iters:12 w;
+  let s = Visualinux.attach k in
+  let seq =
+    List.map
+      (fun (sc : Scripts.script) ->
+        Render.ascii
+          (Viewcl.run ~cfg:s.Visualinux.cfg s.Visualinux.target sc.Scripts.source)
+            .Viewcl.graph)
+      (figs ())
+  in
+  Alcotest.(check (list string)) "seq = pooled renders" seq r1.renders
+
+let test_identity_chaos () =
+  let r1 = run_figs ~pool_size:1 ~chaos:true ~inject:false () in
+  let r4 = run_figs ~pool_size:4 ~chaos:true ~inject:false () in
+  check_identity "chaos 1v4" r1 r4;
+  Alcotest.(check bool) "chaos actually fired" true (r1.fired > 0)
+
+let test_identity_inject () =
+  let r1 = run_figs ~pool_size:1 ~chaos:false ~inject:true () in
+  let r4 = run_figs ~pool_size:4 ~chaos:false ~inject:true () in
+  check_identity "inject 1v4" r1 r4;
+  Alcotest.(check bool) "injection left a journal" true (List.length r1.journal > 0)
+
+(* ---------------- pool semantics ---------------- *)
+
+let test_run_order_and_steals () =
+  let p = Viewcl.Dpool.create 4 in
+  let res = Viewcl.Dpool.run p (List.init 100 (fun i () -> i * i)) in
+  Alcotest.(check (list int)) "results in submission order" (List.init 100 (fun i -> i * i)) res;
+  Alcotest.(check int) "all tasks executed" 100 (Viewcl.Dpool.executed p);
+  Viewcl.Dpool.shutdown p;
+  let p1 = Viewcl.Dpool.create 1 in
+  ignore (Viewcl.Dpool.run p1 (List.init 10 (fun i () -> i)));
+  Alcotest.(check int) "1-pool never steals" 0 (Viewcl.Dpool.steals p1);
+  Viewcl.Dpool.shutdown p1
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let p = Viewcl.Dpool.create 2 in
+  (match
+     Viewcl.Dpool.run p
+       (List.init 10 (fun i () -> if i >= 4 then raise (Boom i) else i))
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> Alcotest.(check int) "lowest-index exception wins" 4 i);
+  Viewcl.Dpool.shutdown p
+
+let test_batch_streaming () =
+  let p = Viewcl.Dpool.create 3 in
+  let b = Viewcl.Dpool.batch p in
+  List.iter (fun i -> Viewcl.Dpool.add b (fun () -> 2 * i)) (List.init 25 (fun i -> i));
+  Alcotest.(check (list int)) "join keeps submission order"
+    (List.init 25 (fun i -> 2 * i))
+    (Viewcl.Dpool.join b);
+  Viewcl.Dpool.shutdown p
+
+let test_charge_and_record () =
+  let p = Viewcl.Dpool.create 1 in
+  ignore (Viewcl.Dpool.run p [ (fun () -> Viewcl.Dpool.charge 250.) ]);
+  Viewcl.Dpool.record p 40.;
+  (match Viewcl.Dpool.timings p with
+  | [ t1; t2 ] ->
+      Alcotest.(check bool) "charge folded into task timing" true (Float.max t1 t2 >= 250.);
+      Alcotest.(check bool) "record appends a pseudo-task" true (Float.min t1 t2 = 40.)
+  | l -> Alcotest.failf "expected 2 timings, got %d" (List.length l));
+  Viewcl.Dpool.shutdown p
+
+let test_clock_concurrent_monotone () =
+  let worst = Atomic.make 0. in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let prev = ref (Obs.Clock.now_ms ()) in
+            for _ = 1 to 10_000 do
+              let t = Obs.Clock.now_ms () in
+              if t < !prev then Atomic.set worst (!prev -. t);
+              prev := t
+            done;
+            !prev))
+  in
+  let finals = List.map Domain.join domains in
+  Alcotest.(check (float 0.)) "no domain saw time go backwards" 0. (Atomic.get worst);
+  let now = Obs.Clock.now_ms () in
+  List.iter (fun f -> Alcotest.(check bool) "running max holds" true (now >= f)) finals
+
+(* ---------------- schedule model ---------------- *)
+
+let test_model_speedup_math () =
+  let feq name a b = Alcotest.(check (float 1e-9)) name a b in
+  feq "1 domain is the baseline" 1.0
+    (Viewcl.Dpool.model_speedup ~domains:1 ~serial_ms:100. [ 50. ]);
+  feq "empty batch" 1.0 (Viewcl.Dpool.model_speedup ~domains:4 ~serial_ms:100. []);
+  feq "perfect split" 2.0
+    (Viewcl.Dpool.model_speedup ~domains:2 ~serial_ms:100. [ 25.; 25.; 25.; 25. ]);
+  (* 20ms serial remainder + 40ms makespan *)
+  feq "amdahl remainder" (100. /. 60.)
+    (Viewcl.Dpool.model_speedup ~domains:2 ~serial_ms:100. [ 40.; 40. ])
+
+let prop_model_bounded =
+  QCheck.Test.make ~count:200 ~name:"model speedup stays within [1, domains]"
+    QCheck.(pair (int_range 2 8) (list_of_size Gen.(int_range 1 40) (float_range 0.1 50.)))
+    (fun (domains, busy) ->
+      let total = List.fold_left ( +. ) 0. busy in
+      let m = Viewcl.Dpool.model_speedup ~domains ~serial_ms:(total +. 10.) busy in
+      m >= 1.0 && m <= float_of_int domains +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "identity: plain, domains 1/2/4 + seq" `Quick test_identity_plain;
+    Alcotest.test_case "identity: split chaos, domains 1/4" `Quick test_identity_chaos;
+    Alcotest.test_case "identity: injection, domains 1/4" `Quick test_identity_inject;
+    Alcotest.test_case "pool: run order, executed, steals" `Quick test_run_order_and_steals;
+    Alcotest.test_case "pool: lowest-index exception" `Quick test_exception_propagation;
+    Alcotest.test_case "pool: streamed batch join" `Quick test_batch_streaming;
+    Alcotest.test_case "pool: charge + record timings" `Quick test_charge_and_record;
+    Alcotest.test_case "clock: concurrent running max" `Quick test_clock_concurrent_monotone;
+    Alcotest.test_case "model: LPT + amdahl arithmetic" `Quick test_model_speedup_math;
+    QCheck_alcotest.to_alcotest prop_model_bounded ]
